@@ -1,0 +1,22 @@
+// Command classify runs the Figure 5 workload classification: each
+// application's last-level cache accesses per thousand cycles, measured
+// with idle co-runners, against the intensity threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nucasim/internal/experiment"
+)
+
+func main() {
+	var opt experiment.Options
+	flag.Uint64Var(&opt.Seed, "seed", 42, "simulation seed")
+	flag.Uint64Var(&opt.WarmupInstructions, "warmup-instrs", 0, "functional warmup per core")
+	flag.Uint64Var(&opt.MeasureCycles, "cycles", 0, "measured cycles")
+	flag.Parse()
+
+	fmt.Println(experiment.Fig5(opt))
+	fmt.Printf("threshold: %.0f accesses per 1000 cycles (paper §4.1)\n", experiment.IntensiveThreshold)
+}

@@ -1,0 +1,162 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the corresponding table together
+// with the paper's reference numbers so the shapes can be compared at a
+// glance. Use -mixes / -cycles / -warmup-instrs to scale runs up toward
+// the paper's 200 M-cycle windows.
+//
+// Usage:
+//
+//	experiments [flags] fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
+//	                    sampling anecdote cost table1 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nucasim/internal/core"
+	"nucasim/internal/experiment"
+)
+
+func main() {
+	var opt experiment.Options
+	flag.Uint64Var(&opt.Seed, "seed", 42, "experiment seed (runs are deterministic in it)")
+	flag.IntVar(&opt.Mixes, "mixes", 0, "random 4-app experiments per figure (default 8)")
+	flag.Uint64Var(&opt.WarmupInstructions, "warmup-instrs", 0, "functional warmup instructions per core (default 1e6)")
+	flag.Uint64Var(&opt.WarmupCycles, "warmup-cycles", 0, "timed warmup cycles (default 1e5)")
+	flag.Uint64Var(&opt.MeasureCycles, "cycles", 0, "measured cycles (default 6e5; paper: 2e8)")
+	flag.Parse()
+	which := flag.Args()
+	if len(which) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|sampling|anecdote|cost|table1|all")
+		os.Exit(2)
+	}
+	for _, w := range which {
+		if w == "all" {
+			for _, x := range []string{"table1", "cost", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sampling", "anecdote", "scaling", "parallel"} {
+				run(x, opt)
+			}
+			continue
+		}
+		run(w, opt)
+	}
+}
+
+func run(which string, opt experiment.Options) {
+	switch which {
+	case "table1":
+		printTable1()
+	case "cost":
+		printCost()
+	case "fig3":
+		fmt.Println(experiment.Fig3(opt))
+		fmt.Println("paper: mcf is the innermost (flattest) curve — one block per set suffices;")
+		fmt.Println("gzip needs four blocks per set to avoid most misses.")
+	case "fig5":
+		t := experiment.Fig5(opt)
+		fmt.Println(t)
+		fmt.Printf("threshold: %.0f accesses per 1000 cycles (paper §4.1)\n", experiment.IntensiveThreshold)
+	case "fig6":
+		r := experiment.Fig6(opt)
+		fmt.Println(r.Table)
+		fmt.Printf("adaptive vs private: harmonic %+.1f%%, mean %+.1f%%  (paper: +21%%, +13%%)\n",
+			r.HarmonicGainVsPrivatePct, r.MeanGainVsPrivatePct)
+		fmt.Printf("adaptive vs shared:  harmonic %+.1f%%, mean %+.1f%%  (paper: +2%%, +5%%)\n",
+			r.HarmonicGainVsSharedPct, r.MeanGainVsSharedPct)
+	case "fig7":
+		fmt.Println(experiment.Fig7(opt))
+		fmt.Println("paper: ammp, art, twolf and vpr benefit from capacity (high private4x")
+		fmt.Println("columns); the adaptive scheme tracks or beats shared for them.")
+	case "fig8":
+		fmt.Println(experiment.Fig8(opt))
+		fmt.Println("paper: non-intensive apps sit near 1.0; wupwise can lose when")
+		fmt.Println("co-scheduled with three ammp copies (see 'anecdote').")
+	case "fig9":
+		fmt.Println(experiment.Fig9(opt))
+		fmt.Println("paper: with an 8 MB L3 most apps no longer gain from capacity and the")
+		fmt.Println("adaptive scheme's constraints can degrade performance.")
+	case "fig10":
+		r := experiment.Fig10(opt)
+		fmt.Println(r.Table)
+		fmt.Printf("scaled technology: shared %.3f, adaptive %.3f average speedup vs private\n",
+			r.AvgShared, r.AvgAdaptive)
+		fmt.Println("(paper: the adaptive scheme has the highest average gain)")
+	case "fig11":
+		fmt.Println(experiment.Fig11(opt))
+		fmt.Println("paper: the adaptive scheme generally beats random replacement on")
+		fmt.Println("memory-intensive mixes.")
+	case "fig12":
+		fmt.Println(experiment.Fig12(opt))
+		fmt.Println("paper: with both categories mixed in, the two schemes come out close.")
+	case "sampling":
+		r := experiment.ShadowSampling(opt)
+		fmt.Println(r.Table)
+		fmt.Printf("sampling 1/16 of sets: mean IPC %+.2f%%, harmonic IPC %+.2f%%  (paper: +0.1%%, -0.1%%)\n",
+			r.MeanIPCDeltaPct, r.HarmonicIPCDeltaPct)
+	case "anecdote":
+		r := experiment.Anecdote(opt)
+		fmt.Println(r.Table)
+		fmt.Printf("wupwise slowdown %.3f, ammp speedup %.3f; harmonic %.4f -> %.4f\n",
+			r.WupwiseSlowdown, r.AmmpSpeedup, r.HarmonicPrivate, r.HarmonicAdaptive)
+		fmt.Println("(paper §4.3: wupwise 1.797 -> 1.326 while 3x ammp 0.0319 -> 0.032x;")
+		fmt.Println("the harmonic mean still improves, which is the scheme's objective)")
+	case "scaling":
+		r := experiment.CoreScaling(opt)
+		fmt.Println(r.Table)
+		fmt.Printf("adaptive gain over private: %+.1f%% at 4 cores, %+.1f%% at 8 cores\n",
+			r.GainAtCores[4], r.GainAtCores[8])
+		fmt.Println("(paper §6 conjectures the scheme scales to higher core counts; the")
+		fmt.Println("remaining gain at 8 cores is bounded by memory-channel saturation)")
+	case "parallel":
+		r := experiment.ParallelWorkloads(opt)
+		fmt.Println(r.Table)
+		fmt.Printf("average speedup vs private: adaptive %.2fx, shared %.2fx\n",
+			r.AdaptiveVsPrivate, r.SharedVsPrivate)
+		fmt.Println("(paper §3 hypothesizes the scheme is effective for parallel workloads;")
+		fmt.Println("single-copy shared data makes both organizations beat replicating")
+		fmt.Println("private caches, with the adaptive scheme also protecting thread-private")
+		fmt.Println("state — read-mostly sharing only, no coherence protocol is modelled)")
+	default:
+		fmt.Fprintln(os.Stderr, "unknown experiment:", which)
+		os.Exit(2)
+	}
+	fmt.Println()
+}
+
+func printTable1() {
+	fmt.Print(`Table 1: baseline configuration (see internal/sim, internal/hierarchy,
+internal/dram, internal/bpred, internal/tlb defaults)
+
+  Register update unit          128 instructions
+  Load/store queue              64 instructions
+  Fetch queue                   4 instructions
+  Fetch/decode/issue/commit     4 instructions/cycle
+  Functional units              4 INT ALU, 4 FP ALU, 1 INT mul/div, 1 FP mul/div
+  Branch predictor              combined: bimodal 4K, 2-level 1K x 10-bit, 4K chooser
+  Branch target buffer          512-entry, 4-way
+  Mispredict penalty            7 cycles
+  L1 I/D                        64 KB, 2-way LRU, 64 B blocks, 2/3 cycles
+  L2 I/D                        128/256 KB, 4-way LRU, 64 B blocks, 9/9 cycles
+  Shared L3                     4 MB, 16-way LRU, 64 B blocks, 19 cycles
+  Private L3                    1 MB/core, 4-way LRU, 14 cycles local / 19 neighbor
+  Main memory                   260 cycles first chunk (258 private), 4 cycles/chunk,
+                                8 B chunks, 9 GB/s at 4.5 GHz (2 B/cycle)
+  I/D TLB                       128-entry fully associative, 30-cycle miss
+  Cores                         4
+`)
+}
+
+func printCost() {
+	c := core.StorageCost(core.CostParams{SampleShift: 4})
+	fmt.Printf(`Storage cost (Section 2.7), baseline parameters:
+  shadow tags   %8d bits (%.0f%%)
+  core IDs      %8d bits (%.0f%%)
+  counters      %8d bits
+  total         %8.1f Kbit (paper: 152 Kbit; 16%% shadow tags, 84%% core IDs)
+  overhead      %8.2f%% of the 4 MB L3 (paper: 0.5%%)
+`,
+		c.ShadowTagBits, c.ShadowShare()*100,
+		c.CoreIDBits, c.CoreIDShare()*100,
+		c.CounterBits, c.KBits(), c.OverheadOf(4<<20)*100)
+}

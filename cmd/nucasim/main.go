@@ -1,0 +1,90 @@
+// Command nucasim runs one multiprogrammed workload mix on the simulated
+// 4-core CMP under a chosen last-level cache organization and reports
+// per-core IPC, cache behaviour and (for the adaptive scheme) the final
+// partitioning.
+//
+// Example:
+//
+//	nucasim -scheme adaptive -apps ammp,swim,lucas,lucas -cycles 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nucasim/internal/sim"
+	"nucasim/internal/workload"
+)
+
+func main() {
+	scheme := flag.String("scheme", "adaptive", "llc organization: private|shared|private4x|coop|adaptive")
+	apps := flag.String("apps", "ammp,swim,lucas,gzip", "comma-separated application names (one per core)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	warmup := flag.Uint64("warmup-instrs", 1_000_000, "functional warmup instructions per core")
+	cycles := flag.Uint64("cycles", 1_000_000, "measured cycles")
+	scaled := flag.Bool("scaled", false, "use §4.5 technology-scaled latencies")
+	l3 := flag.Int("l3-bytes", 1<<20, "L3 bytes per core (private partition size)")
+	sample := flag.Bool("sample-shadow", false, "shadow tags in 1/16 of sets (§4.6)")
+	list := flag.Bool("list", false, "list available applications and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("applications (LLC-intensive marked *):")
+		for _, p := range workload.Suite() {
+			mark := " "
+			if p.Intensive {
+				mark = "*"
+			}
+			fmt.Printf("  %s %-8s (%s)\n", mark, p.Name, p.Suite)
+		}
+		return
+	}
+
+	var mix []workload.AppParams
+	for _, name := range strings.Split(*apps, ",") {
+		p, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown application %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		mix = append(mix, p)
+	}
+	if len(mix) != 4 {
+		fmt.Fprintf(os.Stderr, "need exactly 4 applications, got %d\n", len(mix))
+		os.Exit(2)
+	}
+
+	cfg := sim.Config{
+		Scheme:             sim.Scheme(*scheme),
+		Seed:               *seed,
+		WarmupInstructions: *warmup,
+		MeasureCycles:      *cycles,
+		L3BytesPerCore:     *l3,
+		Scaled:             *scaled,
+	}
+	if *sample {
+		cfg.ShadowSampleShift = 4
+	}
+	r := sim.Run(cfg, mix)
+
+	fmt.Printf("scheme: %s   mix: %s\n\n", r.Scheme, strings.Join(r.Mix, " "))
+	fmt.Printf("%-10s %10s %12s %12s %12s\n", "core/app", "IPC", "L3 acc/kc", "L3 miss/kc", "mispredict")
+	for c := range mix {
+		cs := r.CoreStats[c]
+		fmt.Printf("%d %-8s %10.4f %12.3f %12.3f %11.1f%%\n",
+			c, r.Mix[c], r.PerCoreIPC[c], r.LLCAccessesPerKCycle[c], r.LLCMissesPerKCycle[c],
+			cs.MispredictRate()*100)
+	}
+	fmt.Printf("\nharmonic IPC %.4f   mean IPC %.4f\n", r.HarmonicIPC, r.MeanIPC)
+	llc := r.LLCTotal
+	fmt.Printf("L3 totals: %d accesses, %d local hits, %d remote hits, %d misses (%.1f%% miss)\n",
+		llc.Accesses, llc.LocalHits, llc.RemoteHits, llc.Misses, llc.MissRate()*100)
+	fmt.Printf("memory: %d reads, %d writebacks, %d queue cycles\n",
+		r.Memory.Reads, r.Memory.Writebacks, r.Memory.QueueCycles)
+	if r.PartitionLimits != nil {
+		fmt.Printf("adaptive partition limits (blocks/set per core): %v after %d transfers\n",
+			r.PartitionLimits, r.Repartitions)
+	}
+}

@@ -1,0 +1,105 @@
+// Command sweep runs parameter sweeps around the paper's design points:
+//
+//	sweep -kind capacity   # L3 bytes per core: 512 KB .. 4 MB (Fig. 7 vs 9)
+//	sweep -kind period     # adaptive re-evaluation period (paper: 2000 misses)
+//	sweep -kind ways       # Figure 3-style associativity sweep for one app
+//
+// Each sweep prints one table of harmonic-mean IPC (or misses) per point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nucasim/internal/experiment"
+	"nucasim/internal/sim"
+	"nucasim/internal/stats"
+	"nucasim/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "capacity", "capacity|period|ways")
+	apps := flag.String("apps", "ammp,gzip,swim,twolf", "mix for capacity/period sweeps")
+	app := flag.String("app", "gzip", "application for the ways sweep")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	warmup := flag.Uint64("warmup-instrs", 1_000_000, "functional warmup per core")
+	cycles := flag.Uint64("cycles", 600_000, "measured cycles")
+	flag.Parse()
+
+	switch *kind {
+	case "capacity":
+		sweepCapacity(mixFrom(*apps), *seed, *warmup, *cycles)
+	case "period":
+		sweepPeriod(mixFrom(*apps), *seed, *warmup, *cycles)
+	case "ways":
+		sweepWays(*app, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown sweep kind:", *kind)
+		os.Exit(2)
+	}
+}
+
+func mixFrom(csv string) []workload.AppParams {
+	var mix []workload.AppParams
+	for _, name := range strings.Split(csv, ",") {
+		p, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown application %q\n", name)
+			os.Exit(2)
+		}
+		mix = append(mix, p)
+	}
+	if len(mix) != 4 {
+		fmt.Fprintln(os.Stderr, "need exactly 4 applications")
+		os.Exit(2)
+	}
+	return mix
+}
+
+func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64) {
+	t := stats.NewTable("capacity sweep: harmonic IPC vs L3 bytes per core",
+		"private", "shared", "adaptive")
+	for _, kb := range []int{512, 1024, 2048, 4096} {
+		row := make([]float64, 0, 3)
+		for _, s := range []sim.Scheme{sim.SchemePrivate, sim.SchemeShared, sim.SchemeAdaptive} {
+			r := sim.Run(sim.Config{
+				Scheme: s, Seed: seed,
+				WarmupInstructions: warmup, MeasureCycles: cycles,
+				L3BytesPerCore: kb << 10,
+			}, mix)
+			row = append(row, r.HarmonicIPC)
+		}
+		t.AddRow(fmt.Sprintf("%d KB/core", kb), row...)
+	}
+	fmt.Println(t)
+}
+
+func sweepPeriod(mix []workload.AppParams, seed, warmup, cycles uint64) {
+	t := stats.NewTable("re-evaluation period sweep (adaptive): harmonic IPC",
+		"harmonic IPC", "repartitions")
+	for _, period := range []int{250, 500, 1000, 2000, 4000, 8000} {
+		r := sim.Run(sim.Config{
+			Scheme: sim.SchemeAdaptive, Seed: seed,
+			WarmupInstructions: warmup, MeasureCycles: cycles,
+			RepartitionPeriod: period,
+		}, mix)
+		t.AddRow(fmt.Sprintf("%d misses", period), r.HarmonicIPC, float64(r.Repartitions))
+	}
+	fmt.Println(t)
+	fmt.Println("(paper §2.1 uses 2000 misses: long enough to measure, short enough to adapt)")
+}
+
+func sweepWays(app string, seed uint64) {
+	p, ok := workload.ByName(app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown application %q\n", app)
+		os.Exit(2)
+	}
+	t := stats.NewTable(fmt.Sprintf("Figure 3-style sweep for %s: L3 miss ratio vs ways", app), "miss ratio")
+	for _, w := range []int{1, 2, 3, 4, 5, 6, 8, 12, 16} {
+		t.AddRow(fmt.Sprintf("%d-way", w), experiment.MissRatioAtWays(p, w, seed))
+	}
+	fmt.Println(t)
+}

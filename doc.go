@@ -1,0 +1,13 @@
+// Package nucasim reproduces Dybdahl & Stenström, "An Adaptive
+// Shared/Private NUCA Cache Partitioning Scheme for Chip Multiprocessors"
+// (HPCA 2007), as a from-scratch chip-multiprocessor simulator written in
+// pure Go.
+//
+// The implementation lives under internal/: the paper's contribution (the
+// adaptive NUCA organization) in internal/core, the baseline last-level
+// cache organizations in internal/llc, the out-of-order core timing model
+// in internal/cpu, and the per-figure experiment harness in
+// internal/experiment. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure of the evaluation.
+package nucasim

@@ -1,0 +1,53 @@
+// Pollution: the paper's core motivation made visible. gzip fits a 4-way
+// private L3 exactly; three streaming co-runners displace its blocks under
+// uncontrolled sharing (the shared cache and Chang & Sohi's cooperative
+// spilling) but not under the adaptive scheme, whose private partitions
+// and per-core limits protect it.
+//
+//	go run ./examples/pollution
+package main
+
+import (
+	"fmt"
+
+	"nucasim/internal/sim"
+	"nucasim/internal/workload"
+)
+
+func main() {
+	var mix []workload.AppParams
+	for _, name := range []string{"gzip", "swim", "lucas", "applu"} {
+		p, _ := workload.ByName(name)
+		mix = append(mix, p)
+	}
+
+	fmt.Println("gzip (needs exactly 4 ways) vs three streamers")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %14s %12s\n", "scheme", "gzip IPC", "gzip miss/kc", "harmonic")
+
+	var gzipPrivate float64
+	for _, scheme := range []sim.Scheme{
+		sim.SchemePrivate, sim.SchemeShared, sim.SchemeCoop, sim.SchemeAdaptive,
+	} {
+		r := sim.Run(sim.Config{
+			Scheme:             scheme,
+			Seed:               3,
+			WarmupInstructions: 1_000_000,
+			MeasureCycles:      800_000,
+		}, mix)
+		fmt.Printf("%-10s %12.4f %14.3f %12.4f", scheme, r.PerCoreIPC[0],
+			r.LLCMissesPerKCycle[0], r.HarmonicIPC)
+		if scheme == sim.SchemePrivate {
+			gzipPrivate = r.PerCoreIPC[0]
+		} else {
+			fmt.Printf("   (gzip at %.0f%% of private)", 100*r.PerCoreIPC[0]/gzipPrivate)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Private isolates gzip perfectly; the shared cache and cooperative")
+	fmt.Println("spilling let the streams pollute it; the adaptive scheme's private")
+	fmt.Println("partition plus Algorithm 1's per-owner limits keep it close to private")
+	fmt.Println("while still lending unused capacity to whoever can use it (Section 2.4).")
+}

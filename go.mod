@@ -1,0 +1,3 @@
+module nucasim
+
+go 1.22

@@ -1,0 +1,170 @@
+package bpred
+
+import (
+	"testing"
+
+	"nucasim/internal/memaddr"
+	"nucasim/internal/rng"
+)
+
+func TestTwoBitSaturation(t *testing.T) {
+	c := twoBit(0)
+	c = c.update(false)
+	if c != 0 {
+		t.Fatal("must saturate at 0")
+	}
+	for i := 0; i < 5; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Fatalf("must saturate at 3, got %d", c)
+	}
+	if !c.taken() || twoBit(1).taken() {
+		t.Fatal("taken threshold wrong")
+	}
+}
+
+func TestAlwaysTakenLoopBranchConverges(t *testing.T) {
+	p := New(Config{})
+	pc, target := memaddr.Addr(0x400), memaddr.Addr(0x100)
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if p.Resolve(pc, true, target) {
+			miss++
+		}
+	}
+	if miss > 3 {
+		t.Fatalf("always-taken branch mispredicted %d/1000 times", miss)
+	}
+}
+
+func TestAlternatingPatternLearnedByHistory(t *testing.T) {
+	p := New(Config{})
+	pc, target := memaddr.Addr(0x800), memaddr.Addr(0x200)
+	// Train on a strict T,N,T,N pattern; the 2-level predictor should
+	// capture it once the history register warms up.
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if p.Resolve(pc, taken, target) && i > 200 {
+			miss++
+		}
+	}
+	if miss > 50 {
+		t.Fatalf("2-level predictor failed to learn alternation: %d late mispredicts", miss)
+	}
+}
+
+func TestRandomBranchMispredictsOften(t *testing.T) {
+	p := New(Config{})
+	r := rng.New(99)
+	pc, target := memaddr.Addr(0xC00), memaddr.Addr(0x300)
+	miss := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.Resolve(pc, r.Bool(0.5), target) {
+			miss++
+		}
+	}
+	rate := float64(miss) / n
+	if rate < 0.3 || rate > 0.7 {
+		t.Fatalf("random branch mispredict rate %.2f, want ~0.5", rate)
+	}
+}
+
+func TestBTBMissOnFirstTakenBranch(t *testing.T) {
+	p := New(Config{})
+	pc, target := memaddr.Addr(0x1000), memaddr.Addr(0x2000)
+	// Force the direction predictor to predict taken first (init is weakly
+	// taken = 2, so the first prediction is taken) but the BTB is cold.
+	mis := p.Resolve(pc, true, target)
+	if !mis || p.Stats.BTBMisses != 1 {
+		t.Fatalf("cold taken branch should BTB-miss: mis=%v stats=%+v", mis, p.Stats)
+	}
+	// Second time the BTB knows the target.
+	if p.Resolve(pc, true, target) {
+		t.Fatal("warm taken branch should predict correctly")
+	}
+}
+
+func TestBTBTargetChangeDetected(t *testing.T) {
+	p := New(Config{})
+	pc := memaddr.Addr(0x1000)
+	p.Resolve(pc, true, 0x2000)
+	p.Resolve(pc, true, 0x2000)
+	// Same branch now jumps elsewhere (indirect branch): mispredict.
+	if !p.Resolve(pc, true, 0x3000) {
+		t.Fatal("target change must mispredict")
+	}
+	if p.Resolve(pc, true, 0x3000) {
+		t.Fatal("updated target should now hit")
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	p := New(Config{BTBSets: 1, BTBWays: 2})
+	// Three distinct always-taken branches alias into the single set.
+	pcs := []memaddr.Addr{0x4, 0x8, 0xC}
+	for _, pc := range pcs {
+		p.Resolve(pc, true, pc+0x100)
+		p.Resolve(pc, true, pc+0x100)
+	}
+	// pcs[0] was LRU-evicted by pcs[2]; direction is learned but target
+	// lookup fails again.
+	before := p.Stats.BTBMisses
+	p.Resolve(pcs[0], true, pcs[0]+0x100)
+	if p.Stats.BTBMisses != before+1 {
+		t.Fatal("evicted BTB entry should miss")
+	}
+}
+
+func TestNotTakenBranchNeedsNoBTB(t *testing.T) {
+	p := New(Config{})
+	pc := memaddr.Addr(0x40)
+	for i := 0; i < 100; i++ {
+		p.Resolve(pc, false, 0)
+	}
+	before := p.Stats.Mispredicts
+	if p.Resolve(pc, false, 0) {
+		t.Fatal("learned not-taken branch should predict correctly without BTB")
+	}
+	if p.Stats.Mispredicts != before {
+		t.Fatal("stats should not change on correct prediction")
+	}
+}
+
+func TestMispredictRateStat(t *testing.T) {
+	var s Stats
+	if s.MispredictRate() != 0 {
+		t.Fatal("empty rate must be 0")
+	}
+	s = Stats{Lookups: 8, Mispredicts: 2}
+	if s.MispredictRate() != 0.25 {
+		t.Fatal("rate wrong")
+	}
+}
+
+func TestPredictDirectionIsPure(t *testing.T) {
+	p := New(Config{})
+	pc := memaddr.Addr(0x123400)
+	before := *p
+	_ = p.PredictDirection(pc)
+	if p.history != before.history || p.Stats != before.Stats {
+		t.Fatal("PredictDirection must not mutate state")
+	}
+}
+
+func TestDistinctBranchesDoNotDestructivelyAlias(t *testing.T) {
+	p := New(Config{})
+	// Two branches with different low PC bits train opposite directions.
+	a, b := memaddr.Addr(0x1000), memaddr.Addr(0x1004)
+	for i := 0; i < 500; i++ {
+		p.Resolve(a, true, 0x9000)
+		p.Resolve(b, false, 0)
+	}
+	missA := p.Resolve(a, true, 0x9000)
+	missB := p.Resolve(b, false, 0)
+	if missA || missB {
+		t.Fatalf("trained branches should both predict: a=%v b=%v", missA, missB)
+	}
+}

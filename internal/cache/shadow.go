@@ -1,0 +1,113 @@
+package cache
+
+import "nucasim/internal/memaddr"
+
+// ShadowTagTable implements the paper's shadow-tag structure (Figure 4(b)):
+// one tag register per monitored set per core, recording the tag of the
+// block most recently evicted from the last-level cache on behalf of that
+// core. A later miss whose tag matches means "one more block per set would
+// have turned this miss into a hit".
+//
+// Section 4.6 shows that monitoring only the sets with the lowest index
+// (1/16 of them, ≈6 %) is sufficient; SampleShift selects that mode. When
+// sampling, recorded gains must be scaled by the sampling factor before
+// being compared against LRU-hit counters, which are collected in all sets
+// (the paper: "the numbers are normalized").
+type ShadowTagTable struct {
+	cores       int
+	sets        int
+	sampleShift uint // monitor sets [0, sets>>sampleShift)
+	tags        []uint64
+	valid       []bool
+}
+
+// NewShadowTagTable creates a table for the given set count and core
+// count. sampleShift = 0 monitors every set; sampleShift = 4 monitors the
+// 1/16 of sets with the lowest index (the paper's reduced configuration).
+func NewShadowTagTable(sets, cores int, sampleShift uint) *ShadowTagTable {
+	if sets <= 0 || cores <= 0 {
+		panic("cache: shadow tag table needs positive sets and cores")
+	}
+	monitored := sets >> sampleShift
+	if monitored == 0 {
+		monitored = 1
+	}
+	return &ShadowTagTable{
+		cores:       cores,
+		sets:        sets,
+		sampleShift: sampleShift,
+		tags:        make([]uint64, monitored*cores),
+		valid:       make([]bool, monitored*cores),
+	}
+}
+
+// Monitored reports whether a set index is covered by the table.
+func (t *ShadowTagTable) Monitored(set int) bool {
+	return set < t.sets>>t.sampleShift || t.sets>>t.sampleShift == 0 && set == 0
+}
+
+// MonitoredSets returns how many sets the table covers.
+func (t *ShadowTagTable) MonitoredSets() int {
+	m := t.sets >> t.sampleShift
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+// SampleFactor is the multiplier that normalizes shadow-tag hit counts to
+// whole-cache scale (1 when every set is monitored).
+func (t *ShadowTagTable) SampleFactor() float64 {
+	return float64(t.sets) / float64(t.MonitoredSets())
+}
+
+// Record stores the tag of a block evicted on behalf of core in set.
+// Ignored for unmonitored sets.
+func (t *ShadowTagTable) Record(set, core int, tag uint64) {
+	if !t.Monitored(set) {
+		return
+	}
+	i := set*t.cores + core
+	t.tags[i] = tag
+	t.valid[i] = true
+}
+
+// Match reports whether the missing tag equals the shadow tag stored for
+// (set, core). A match consumes the entry: the paper stores one evicted tag
+// per register, and the modelled structure is overwritten on the next
+// eviction anyway; consuming avoids double-counting a re-miss loop in one
+// re-evaluation period.
+func (t *ShadowTagTable) Match(set, core int, tag uint64) bool {
+	if !t.Monitored(set) {
+		return false
+	}
+	i := set*t.cores + core
+	if t.valid[i] && t.tags[i] == tag {
+		t.valid[i] = false
+		return true
+	}
+	return false
+}
+
+// Reset clears all entries.
+func (t *ShadowTagTable) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+}
+
+// StorageBits returns the storage the table costs in bits given the tag
+// width, per the cost model of §2.7.
+func (t *ShadowTagTable) StorageBits(tagBits int) int {
+	return t.MonitoredSets() * t.cores * tagBits
+}
+
+// RecordAddr is a convenience wrapper taking an address and geometry.
+func (t *ShadowTagTable) RecordAddr(g memaddr.Geometry, a memaddr.Addr, core int) {
+	t.Record(g.Set(a), core, g.Tag(a))
+}
+
+// MatchAddr is a convenience wrapper taking an address and geometry.
+func (t *ShadowTagTable) MatchAddr(g memaddr.Geometry, a memaddr.Addr, core int) bool {
+	return t.Match(g.Set(a), core, g.Tag(a))
+}

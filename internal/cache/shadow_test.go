@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"testing"
+
+	"nucasim/internal/memaddr"
+)
+
+func TestShadowRecordMatch(t *testing.T) {
+	st := NewShadowTagTable(16, 4, 0)
+	st.Record(3, 1, 0xABC)
+	if st.Match(3, 0, 0xABC) {
+		t.Fatal("wrong core must not match")
+	}
+	if st.Match(2, 1, 0xABC) {
+		t.Fatal("wrong set must not match")
+	}
+	if !st.Match(3, 1, 0xABC) {
+		t.Fatal("expected match")
+	}
+	if st.Match(3, 1, 0xABC) {
+		t.Fatal("match must consume the entry")
+	}
+}
+
+func TestShadowOverwrite(t *testing.T) {
+	st := NewShadowTagTable(8, 2, 0)
+	st.Record(0, 0, 1)
+	st.Record(0, 0, 2) // paper: one register per (set, core); last eviction wins
+	if st.Match(0, 0, 1) {
+		t.Fatal("overwritten tag must not match")
+	}
+	if !st.Match(0, 0, 2) {
+		t.Fatal("latest tag must match")
+	}
+}
+
+func TestShadowSampling(t *testing.T) {
+	st := NewShadowTagTable(64, 4, 4) // monitor 64/16 = 4 lowest sets
+	if st.MonitoredSets() != 4 {
+		t.Fatalf("MonitoredSets = %d, want 4", st.MonitoredSets())
+	}
+	if st.SampleFactor() != 16 {
+		t.Fatalf("SampleFactor = %v, want 16", st.SampleFactor())
+	}
+	if !st.Monitored(0) || !st.Monitored(3) {
+		t.Fatal("low sets must be monitored")
+	}
+	if st.Monitored(4) || st.Monitored(63) {
+		t.Fatal("high sets must not be monitored")
+	}
+	st.Record(10, 0, 0xF)
+	if st.Match(10, 0, 0xF) {
+		t.Fatal("unmonitored set must never match")
+	}
+}
+
+func TestShadowSamplingAtLeastOneSet(t *testing.T) {
+	st := NewShadowTagTable(4, 2, 10) // shift beyond set count
+	if st.MonitoredSets() != 1 {
+		t.Fatalf("MonitoredSets = %d, want clamp to 1", st.MonitoredSets())
+	}
+	st.Record(0, 0, 7)
+	if !st.Match(0, 0, 7) {
+		t.Fatal("set 0 must stay monitored")
+	}
+}
+
+func TestShadowReset(t *testing.T) {
+	st := NewShadowTagTable(8, 2, 0)
+	st.Record(1, 1, 42)
+	st.Reset()
+	if st.Match(1, 1, 42) {
+		t.Fatal("Reset must clear entries")
+	}
+}
+
+func TestShadowStorageBits(t *testing.T) {
+	// Paper §2.7 baseline: 4096 sets, 4 cores, full monitoring.
+	st := NewShadowTagTable(4096, 4, 0)
+	g := memaddr.NewGeometrySets(4096, 4)
+	tagBits := g.TagBits(40)
+	if got := st.StorageBits(tagBits); got != 4096*4*tagBits {
+		t.Fatalf("StorageBits = %d", got)
+	}
+	// Sampled version is 1/16 the cost.
+	sampled := NewShadowTagTable(4096, 4, 4)
+	if sampled.StorageBits(tagBits)*16 != st.StorageBits(tagBits) {
+		t.Fatal("sampled table should cost 1/16")
+	}
+}
+
+func TestShadowAddrHelpers(t *testing.T) {
+	g := memaddr.NewGeometrySets(16, 2)
+	st := NewShadowTagTable(16, 2, 0)
+	a := memaddr.Addr(0x1540).WithSpace(1)
+	st.RecordAddr(g, a, 1)
+	if !st.MatchAddr(g, a, 1) {
+		t.Fatal("addr helpers roundtrip failed")
+	}
+}
+
+func TestShadowPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero sets")
+		}
+	}()
+	NewShadowTagTable(0, 4, 0)
+}

@@ -1,0 +1,673 @@
+// Package core implements the paper's contribution: the adaptive
+// shared/private NUCA last-level cache organization (Section 2).
+//
+// Each core owns a local L3 cache (Table 1: 1 MB, 4-way). The same-indexed
+// sets of all local caches form one "global set" of cores×ways slots. Each
+// global set is split into per-core private partitions (LRU stacks over
+// slots in the owner's local cache) and one shared partition (an LRU stack
+// spanning the remaining slots of every local cache).
+//
+// The sharing engine adapts a per-core occupancy limit, maxBlocksInSet
+// (Figure 4(d)), to minimize total misses:
+//
+//   - a shadow tag per (set, core) records the last block evicted on the
+//     core's behalf; a miss matching it is a "hit if one way larger"
+//     (gain of growing; Figure 4(b,c));
+//   - a hit in the LRU block of a core's private partition is a miss if
+//     one way smaller (loss of shrinking; after Suh et al.);
+//   - every RepartitionPeriod L3 misses, if the best gain exceeds the
+//     smallest loss, one block per set moves from loser to gainer.
+//
+// Replacement follows Section 2.4: fills enter the requester's private
+// partition as MRU; the private LRU block is demoted into the shared
+// partition; the shared victim is chosen by Algorithm 1 (the LRU-most
+// shared block whose owner exceeds its limit, else the global shared LRU).
+// A hit in the shared partition swaps the block with the requester's
+// private LRU (Section 2.3). Repartitioning is lazy (Section 2.5): only
+// the limits change; blocks drain out through normal replacement.
+//
+// Interpretation choices the paper leaves implicit are documented on
+// Config.
+package core
+
+import (
+	"fmt"
+
+	"nucasim/internal/cache"
+	"nucasim/internal/dram"
+	"nucasim/internal/llc"
+	"nucasim/internal/memaddr"
+)
+
+// Config parameterizes the adaptive organization. Zero fields select the
+// paper's baseline (Table 1 and Section 2.1).
+//
+// Interpretation notes, where the paper is implicit:
+//
+//   - The initial partitioning is "75 % private, 25 % shared", so the
+//     initial maxBlocksInSet is 3 for a 4-way local cache, and the private
+//     partition target is min(maxBlocksInSet, local ways). The per-core
+//     limits therefore sum to 12, guaranteeing the shared pool holds at
+//     least one slot per core per set — the paper's "minimum of 1 cache
+//     block per set in the shared block partition".
+//   - A hit on a shared-partition block that is physically resident in the
+//     requester's own local cache costs the local latency (14 cycles), not
+//     the neighbor latency: latency follows physical distance.
+//   - LRU hits are counted in every set; shadow-tag hits are multiplied by
+//     the sampling factor before the comparison (Section 4.6: "the numbers
+//     are normalized").
+type Config struct {
+	Cores             int  // default 4
+	BytesPerCore      int  // default 1 MB
+	LocalWays         int  // default 4
+	RepartitionPeriod int  // default 2000 L3 misses
+	ShadowSampleShift uint // 0 = shadow tags in all sets; 4 = 1/16 of sets (§4.6)
+	Latencies         llc.Latencies
+
+	// Ablation knobs (not part of the paper's design; used to quantify
+	// the mechanisms' individual contributions):
+	//
+	// DisableProtection makes Algorithm 1 always evict the global shared
+	// LRU, ignoring the per-owner limits — sharing becomes uncontrolled,
+	// like the spill-based schemes the paper criticizes.
+	DisableProtection bool
+	// DisableAdaptation freezes the controller: the initial 75 %/25 %
+	// partitioning stays fixed (a static partitioned NUCA).
+	DisableAdaptation bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.BytesPerCore == 0 {
+		c.BytesPerCore = 1 << 20
+	}
+	if c.LocalWays == 0 {
+		c.LocalWays = 4
+	}
+	if c.RepartitionPeriod == 0 {
+		c.RepartitionPeriod = 2000
+	}
+	if c.Latencies == (llc.Latencies{}) {
+		c.Latencies = llc.DefaultLatencies()
+	}
+	return c
+}
+
+// blockRec is one resident block of a global set.
+type blockRec struct {
+	tag   uint64
+	owner int16 // core that fetched the block (Figure 4(a))
+	home  int16 // local cache physically holding the block
+	dirty bool
+}
+
+// gset is one global set: per-core private LRU stacks plus the shared LRU
+// stack, each ordered MRU→LRU.
+type gset struct {
+	priv   [][]blockRec
+	shared []blockRec
+}
+
+func (s *gset) total() int {
+	n := len(s.shared)
+	for _, p := range s.priv {
+		n += len(p)
+	}
+	return n
+}
+
+// ownerCounts fills counts with the number of blocks each core owns in the
+// set (private + shared), the quantity Algorithm 1 compares against the
+// per-core limits.
+func (s *gset) ownerCounts(counts []int) {
+	for i := range counts {
+		counts[i] = len(s.priv[i])
+	}
+	for _, b := range s.shared {
+		counts[b.owner]++
+	}
+}
+
+func (s *gset) homeCounts(counts []int) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, p := range s.priv {
+		for _, b := range p {
+			counts[b.home]++
+		}
+	}
+	for _, b := range s.shared {
+		counts[b.home]++
+	}
+}
+
+// Adaptive is the paper's organization. It implements llc.Organization.
+type Adaptive struct {
+	cfg       Config
+	geom      memaddr.Geometry // per-local-cache geometry
+	totalWays int
+	sets      []gset
+	mem       *dram.Memory
+
+	maxBlocks []int // Figure 4(d): per-core occupancy limit per set
+
+	shadow     *cache.ShadowTagTable
+	shadowHits []uint64 // Figure 4(c) "hits in the shadow tags"
+	lruHits    []uint64 // Figure 4(c) "hits in the LRU blocks"
+
+	missesSinceRepart int
+	perCore           []llc.AccessStats
+
+	// Repartitions counts limit changes actually applied.
+	Repartitions uint64
+	// Evaluations counts repartitioning decisions (every period).
+	Evaluations uint64
+	// OnRepartition, if set, observes every evaluation: the limits after
+	// the decision and whether a transfer happened. Used by the
+	// partition-dynamics example and tests.
+	OnRepartition func(maxBlocks []int, transferred bool)
+
+	countsScratch []int
+	homesScratch  []int
+}
+
+// NewAdaptive builds the organization over the given memory model.
+func NewAdaptive(cfg Config, mem *dram.Memory) *Adaptive {
+	cfg = cfg.withDefaults()
+	if cfg.Cores < 2 {
+		panic("core: adaptive scheme needs at least 2 cores")
+	}
+	geom := memaddr.NewGeometry(cfg.BytesPerCore, cfg.LocalWays)
+	a := &Adaptive{
+		cfg:           cfg,
+		geom:          geom,
+		totalWays:     cfg.LocalWays * cfg.Cores,
+		sets:          make([]gset, geom.Sets),
+		mem:           mem,
+		maxBlocks:     make([]int, cfg.Cores),
+		shadow:        cache.NewShadowTagTable(geom.Sets, cfg.Cores, cfg.ShadowSampleShift),
+		shadowHits:    make([]uint64, cfg.Cores),
+		lruHits:       make([]uint64, cfg.Cores),
+		perCore:       make([]llc.AccessStats, cfg.Cores),
+		countsScratch: make([]int, cfg.Cores),
+		homesScratch:  make([]int, cfg.Cores),
+	}
+	for i := range a.sets {
+		a.sets[i].priv = make([][]blockRec, cfg.Cores)
+	}
+	initial := cfg.LocalWays * 3 / 4 // 75 % private (Section 2.1)
+	if initial < 1 {
+		initial = 1
+	}
+	for c := range a.maxBlocks {
+		a.maxBlocks[c] = initial
+	}
+	return a
+}
+
+// Name implements llc.Organization.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// privTarget is the current private-partition size for a core: the
+// occupancy limit capped by the local associativity (Section 2.2).
+func (a *Adaptive) privTarget(core int) int {
+	t := a.maxBlocks[core]
+	if t > a.cfg.LocalWays {
+		t = a.cfg.LocalWays
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// MaxBlocks returns a copy of the current per-core limits (Figure 4(d)).
+func (a *Adaptive) MaxBlocks() []int {
+	out := make([]int, len(a.maxBlocks))
+	copy(out, a.maxBlocks)
+	return out
+}
+
+// Access implements llc.Organization.
+func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64) (uint64, bool) {
+	st := &a.perCore[coreID]
+	st.Accesses++
+	setIdx := a.geom.Set(addr)
+	tag := a.geom.Tag(addr)
+	s := &a.sets[setIdx]
+
+	// Phase 1: the requester's private partition (Section 2, "two phase
+	// process").
+	priv := s.priv[coreID]
+	for i := range priv {
+		if priv[i].tag == tag {
+			if i == len(priv)-1 {
+				// Hit in the LRU block: one fewer way would have
+				// missed (Section 2.1).
+				a.lruHits[coreID]++
+			}
+			blk := priv[i]
+			blk.dirty = blk.dirty || write
+			copy(priv[1:i+1], priv[:i])
+			priv[0] = blk
+			st.LocalHits++
+			lat := uint64(a.cfg.Latencies.LocalHit)
+			st.TotalLatency += lat
+			return now + lat, true
+		}
+	}
+
+	// Phase 2: the rest of the set — "the tags for all blocks in the set
+	// are compared" (§2.5): the shared partition and, for workloads with
+	// genuinely shared blocks (parallel mode), other cores' private
+	// partitions, all checked in parallel by the hardware.
+	for i := range s.shared {
+		if s.shared[i].tag == tag {
+			blk := s.shared[i]
+			local := int(blk.home) == coreID
+			lat := uint64(a.cfg.Latencies.RemoteHit)
+			if local {
+				lat = uint64(a.cfg.Latencies.LocalHit)
+				st.LocalHits++
+			} else {
+				st.RemoteHits++
+			}
+			st.TotalLatency += lat
+
+			// Section 2.3: the hit block moves into the private
+			// partition; the private LRU block takes its slot and
+			// becomes shared-MRU.
+			oldHome := blk.home
+			s.shared = append(s.shared[:i], s.shared[i+1:]...)
+			blk.dirty = blk.dirty || write
+			// Figure 4(a): the core ID field is updated with the
+			// requesting core on every install; for multiprogrammed
+			// workloads the owner never actually changes, but shared
+			// (parallel-mode) blocks follow their most recent user.
+			blk.owner = int16(coreID)
+			blk.home = int16(coreID)
+			a.adoptIntoPrivate(s, coreID, blk, oldHome)
+			return now + lat, true
+		}
+	}
+	for other := range s.priv {
+		if other == coreID {
+			continue
+		}
+		op := s.priv[other]
+		for i := range op {
+			if op[i].tag != tag {
+				continue
+			}
+			// Hit in a neighbor's private partition (shared data):
+			// migrate to the requester, like a neighbor-cache hit.
+			blk := op[i]
+			s.priv[other] = append(op[:i], op[i+1:]...)
+			st.RemoteHits++
+			lat := uint64(a.cfg.Latencies.RemoteHit)
+			st.TotalLatency += lat
+			oldHome := blk.home
+			blk.dirty = blk.dirty || write
+			blk.owner = int16(coreID) // requester is the new fetcher
+			blk.home = int16(coreID)
+			a.adoptIntoPrivate(s, coreID, blk, oldHome)
+			return now + lat, true
+		}
+	}
+
+	// Miss: check the shadow tag (gain estimator, Section 2.1), then
+	// fetch from memory into the private partition.
+	st.Misses++
+	if a.shadow.Match(setIdx, coreID, tag) {
+		a.shadowHits[coreID]++
+	}
+	ready, _ := a.mem.ReadBlock(now)
+	st.TotalLatency += ready - now
+
+	s.priv[coreID] = prependBlock(s.priv[coreID], blockRec{
+		tag: tag, owner: int16(coreID), home: int16(coreID), dirty: write,
+	})
+	// Lazy repartitioning: drain the private partition down to its
+	// current target (Section 2.5).
+	for len(s.priv[coreID]) > a.privTarget(coreID) {
+		demoted := s.priv[coreID][len(s.priv[coreID])-1]
+		s.priv[coreID] = s.priv[coreID][:len(s.priv[coreID])-1]
+		s.shared = prependBlock(s.shared, demoted)
+	}
+	// Evict until the global set fits its slots (Algorithm 1).
+	for s.total() > a.totalWays {
+		a.evictAlgorithm1(setIdx, s, now)
+	}
+	a.rebalanceHomes(s)
+
+	a.missesSinceRepart++
+	if a.missesSinceRepart >= a.cfg.RepartitionPeriod && !a.cfg.DisableAdaptation {
+		a.repartition()
+	}
+	return ready, false
+}
+
+// adoptIntoPrivate inserts a migrated block at the requester's private MRU
+// position, demoting the private LRU into the slot the block vacated
+// (Section 2.3's swap), then restores the physical-home invariant.
+func (a *Adaptive) adoptIntoPrivate(s *gset, coreID int, blk blockRec, vacatedHome int16) {
+	s.priv[coreID] = prependBlock(s.priv[coreID], blk)
+	if len(s.priv[coreID]) > a.privTarget(coreID) {
+		demoted := s.priv[coreID][len(s.priv[coreID])-1]
+		s.priv[coreID] = s.priv[coreID][:len(s.priv[coreID])-1]
+		demoted.home = vacatedHome // physical swap
+		s.shared = prependBlock(s.shared, demoted)
+	}
+	a.rebalanceHomes(s)
+}
+
+// prependBlock inserts b at the MRU position.
+func prependBlock(stack []blockRec, b blockRec) []blockRec {
+	stack = append(stack, blockRec{})
+	copy(stack[1:], stack[:len(stack)-1])
+	stack[0] = b
+	return stack
+}
+
+// evictAlgorithm1 removes one block from the shared partition following
+// Algorithm 1 and hands it to memory (shadow-tag record + writeback).
+func (a *Adaptive) evictAlgorithm1(setIdx int, s *gset, now uint64) {
+	if len(s.shared) == 0 {
+		panic("core: shared partition empty during eviction — invariant broken")
+	}
+	victimIdx := len(s.shared) - 1 // step 8: global LRU fallback
+	if !a.cfg.DisableProtection {
+		s.ownerCounts(a.countsScratch)
+		for i := len(s.shared) - 1; i >= 0; i-- {
+			owner := s.shared[i].owner
+			if a.countsScratch[owner] > a.maxBlocks[owner] {
+				victimIdx = i
+				break
+			}
+		}
+	}
+	victim := s.shared[victimIdx]
+	s.shared = append(s.shared[:victimIdx], s.shared[victimIdx+1:]...)
+	a.shadow.Record(setIdx, int(victim.owner), victim.tag)
+	ost := &a.perCore[victim.owner]
+	ost.Evictions++
+	if victim.dirty {
+		ost.Writebacks++
+		a.mem.Writeback(now)
+	}
+}
+
+// rebalanceHomes restores the physical constraint that each local cache
+// holds at most LocalWays blocks, by relocating shared-partition blocks
+// (private blocks never move; they are always home at their owner). The
+// MRU-most overflow block moves — on the miss path that is the block just
+// demoted into the slot vacated by the Algorithm 1 victim.
+func (a *Adaptive) rebalanceHomes(s *gset) {
+	counts := a.homesScratch
+	s.homeCounts(counts)
+	for {
+		over := -1
+		for c, n := range counts {
+			if n > a.cfg.LocalWays {
+				over = c
+				break
+			}
+		}
+		if over < 0 {
+			return
+		}
+		moved := false
+		for i := range s.shared { // MRU-most first
+			if int(s.shared[i].home) != over {
+				continue
+			}
+			dest := -1
+			for h, n := range counts {
+				if n < a.cfg.LocalWays {
+					dest = h
+					break
+				}
+			}
+			if dest < 0 {
+				panic("core: no destination slot during home rebalance — invariant broken")
+			}
+			s.shared[i].home = int16(dest)
+			counts[over]--
+			counts[dest]++
+			moved = true
+			break
+		}
+		if !moved {
+			panic("core: overfull local cache holds no shared blocks — invariant broken")
+		}
+	}
+}
+
+// repartition is the Section 2.1 re-evaluation: compare the best gain of
+// growing against the smallest loss of shrinking and transfer one block
+// per set if worthwhile.
+func (a *Adaptive) repartition() {
+	a.missesSinceRepart = 0
+	a.Evaluations++
+
+	gainer := 0
+	for c := 1; c < a.cfg.Cores; c++ {
+		if a.shadowHits[c] > a.shadowHits[gainer] {
+			gainer = c
+		}
+	}
+	loser := -1
+	for c := 0; c < a.cfg.Cores; c++ {
+		if c == gainer {
+			continue
+		}
+		if loser < 0 || a.lruHits[c] < a.lruHits[loser] {
+			loser = c
+		}
+	}
+	gain := float64(a.shadowHits[gainer]) * a.shadow.SampleFactor()
+	loss := float64(a.lruHits[loser])
+
+	transferred := false
+	upperBound := a.totalWays - (a.cfg.Cores - 1) // everyone keeps ≥1
+	if gain > loss && a.maxBlocks[loser] > 1 && a.maxBlocks[gainer] < upperBound {
+		a.maxBlocks[gainer]++
+		a.maxBlocks[loser]--
+		a.Repartitions++
+		transferred = true
+	}
+	for c := range a.shadowHits {
+		a.shadowHits[c] = 0
+		a.lruHits[c] = 0
+	}
+	if a.OnRepartition != nil {
+		a.OnRepartition(a.MaxBlocks(), transferred)
+	}
+}
+
+// Counters returns copies of the current gain/loss counters (Figure 4(c)):
+// per-core shadow-tag hits and LRU-block hits accumulated since the last
+// re-evaluation. Exposed for tests, examples, and the experiment harness.
+func (a *Adaptive) Counters() (shadowHits, lruHits []uint64) {
+	shadowHits = make([]uint64, len(a.shadowHits))
+	lruHits = make([]uint64, len(a.lruHits))
+	copy(shadowHits, a.shadowHits)
+	copy(lruHits, a.lruHits)
+	return shadowHits, lruHits
+}
+
+// WritebackFromL2 implements llc.Organization.
+func (a *Adaptive) WritebackFromL2(coreID int, addr memaddr.Addr, now uint64) {
+	setIdx := a.geom.Set(addr)
+	tag := a.geom.Tag(addr)
+	s := &a.sets[setIdx]
+	for c := range s.priv {
+		priv := s.priv[c]
+		for i := range priv {
+			if priv[i].tag == tag {
+				priv[i].dirty = true
+				return
+			}
+		}
+	}
+	for i := range s.shared {
+		if s.shared[i].tag == tag {
+			s.shared[i].dirty = true
+			return
+		}
+	}
+	a.mem.Writeback(now)
+	a.perCore[coreID].Writebacks++
+}
+
+// CoreStats implements llc.Organization.
+func (a *Adaptive) CoreStats(core int) llc.AccessStats { return a.perCore[core] }
+
+// TotalStats implements llc.Organization.
+func (a *Adaptive) TotalStats() llc.AccessStats {
+	var t llc.AccessStats
+	for _, s := range a.perCore {
+		t.Accesses += s.Accesses
+		t.LocalHits += s.LocalHits
+		t.RemoteHits += s.RemoteHits
+		t.Misses += s.Misses
+		t.Evictions += s.Evictions
+		t.Writebacks += s.Writebacks
+		t.TotalLatency += s.TotalLatency
+	}
+	return t
+}
+
+// Reset implements llc.Organization: contents, counters and limits return
+// to the initial state.
+func (a *Adaptive) Reset() {
+	for i := range a.sets {
+		for c := range a.sets[i].priv {
+			a.sets[i].priv[c] = a.sets[i].priv[c][:0]
+		}
+		a.sets[i].shared = a.sets[i].shared[:0]
+	}
+	a.shadow.Reset()
+	initial := a.cfg.LocalWays * 3 / 4
+	if initial < 1 {
+		initial = 1
+	}
+	for c := range a.maxBlocks {
+		a.maxBlocks[c] = initial
+		a.shadowHits[c] = 0
+		a.lruHits[c] = 0
+		a.perCore[c] = llc.AccessStats{}
+	}
+	a.missesSinceRepart = 0
+	a.Repartitions = 0
+	a.Evaluations = 0
+}
+
+// Memory returns the underlying memory model (test helper).
+func (a *Adaptive) Memory() *dram.Memory { return a.mem }
+
+// Probe reports whether the block is resident in any partition (tests).
+func (a *Adaptive) Probe(addr memaddr.Addr) bool {
+	setIdx := a.geom.Set(addr)
+	tag := a.geom.Tag(addr)
+	s := &a.sets[setIdx]
+	for _, p := range s.priv {
+		for _, b := range p {
+			if b.tag == tag {
+				return true
+			}
+		}
+	}
+	for _, b := range s.shared {
+		if b.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyOfSet describes one global set for inspection: per-core private
+// sizes, the shared stack size, and per-owner block counts.
+type OccupancyOfSet struct {
+	Private      []int
+	SharedBlocks int
+	ByOwner      []int
+	ByHome       []int
+}
+
+// InspectSet returns the occupancy of global set idx (tests/examples).
+func (a *Adaptive) InspectSet(idx int) OccupancyOfSet {
+	s := &a.sets[idx]
+	occ := OccupancyOfSet{
+		Private: make([]int, a.cfg.Cores),
+		ByOwner: make([]int, a.cfg.Cores),
+		ByHome:  make([]int, a.cfg.Cores),
+	}
+	for c, p := range s.priv {
+		occ.Private[c] = len(p)
+	}
+	occ.SharedBlocks = len(s.shared)
+	s.ownerCounts(occ.ByOwner)
+	s.homeCounts(occ.ByHome)
+	return occ
+}
+
+// CheckInvariants validates the structural invariants of every global set
+// and the controller; it returns a description of the first violation or
+// the empty string. Exercised by property tests.
+func (a *Adaptive) CheckInvariants() string {
+	sumLimits := 0
+	for c, m := range a.maxBlocks {
+		if m < 1 || m > a.totalWays-(a.cfg.Cores-1) {
+			return fmt.Sprintf("core %d limit %d out of range", c, m)
+		}
+		sumLimits += m
+	}
+	initial := a.cfg.LocalWays * 3 / 4
+	if initial < 1 {
+		initial = 1
+	}
+	if sumLimits != initial*a.cfg.Cores {
+		return fmt.Sprintf("limits sum %d, want %d", sumLimits, initial*a.cfg.Cores)
+	}
+	homes := make([]int, a.cfg.Cores)
+	for i := range a.sets {
+		s := &a.sets[i]
+		if s.total() > a.totalWays {
+			return fmt.Sprintf("set %d holds %d blocks > %d", i, s.total(), a.totalWays)
+		}
+		seen := map[uint64]bool{}
+		for c, p := range s.priv {
+			if len(p) > a.cfg.LocalWays {
+				return fmt.Sprintf("set %d core %d private %d > ways", i, c, len(p))
+			}
+			for _, b := range p {
+				if int(b.owner) != c || int(b.home) != c {
+					return fmt.Sprintf("set %d: private block of core %d has owner %d home %d", i, c, b.owner, b.home)
+				}
+				if seen[b.tag] {
+					return fmt.Sprintf("set %d: duplicate tag %#x", i, b.tag)
+				}
+				seen[b.tag] = true
+			}
+		}
+		for _, b := range s.shared {
+			if seen[b.tag] {
+				return fmt.Sprintf("set %d: duplicate tag %#x in shared", i, b.tag)
+			}
+			seen[b.tag] = true
+		}
+		s.homeCounts(homes)
+		for h, n := range homes {
+			if n > a.cfg.LocalWays {
+				return fmt.Sprintf("set %d: local cache %d holds %d > %d blocks", i, h, n, a.cfg.LocalWays)
+			}
+		}
+	}
+	return ""
+}
+
+var _ llc.Organization = (*Adaptive)(nil)

@@ -1,0 +1,490 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nucasim/internal/dram"
+	"nucasim/internal/llc"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/rng"
+)
+
+// tinyConfig builds a 4-core adaptive cache with 2 sets × 4 ways per core,
+// small enough that tests can construct exact set contents.
+func tinyConfig() Config {
+	return Config{Cores: 4, BytesPerCore: 2 * 4 * 64, LocalWays: 4}
+}
+
+func newTiny(t *testing.T) *Adaptive {
+	t.Helper()
+	return NewAdaptive(tinyConfig(), dram.New(dram.PrivateConfig()))
+}
+
+// addrFor returns an address in core's space mapping to (tag, set) under
+// the tiny geometry (2 sets: 1 set bit above 6 block bits).
+func addrFor(core int, tag uint64, set int) memaddr.Addr {
+	return memaddr.Addr(tag<<7 | uint64(set)<<6).WithSpace(core)
+}
+
+func TestColdMissThenLocalHit(t *testing.T) {
+	a := newTiny(t)
+	addr := addrFor(0, 1, 0)
+	ready, hit := a.Access(0, addr, false, 100)
+	if hit {
+		t.Fatal("cold access must miss")
+	}
+	if ready != 100+258 {
+		t.Fatalf("miss ready at %d, want 358 (private memory timing)", ready)
+	}
+	ready, hit = a.Access(0, addr, false, 1000)
+	if !hit || ready != 1014 {
+		t.Fatalf("local hit at %d (hit=%v), want 1014", ready, hit)
+	}
+	st := a.CoreStats(0)
+	if st.LocalHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestInitialPartitioning75Percent(t *testing.T) {
+	a := newTiny(t)
+	for c, m := range a.MaxBlocks() {
+		if m != 3 {
+			t.Fatalf("core %d initial limit %d, want 3 (75%% of 4 ways)", c, m)
+		}
+	}
+	if a.privTarget(0) != 3 {
+		t.Fatalf("private target %d, want 3", a.privTarget(0))
+	}
+}
+
+func TestDemotionToShared(t *testing.T) {
+	a := newTiny(t)
+	// Four distinct blocks in one set: private target is 3, so the
+	// fourth install demotes the LRU (tag 1) into the shared partition.
+	for i := uint64(1); i <= 4; i++ {
+		a.Access(0, addrFor(0, i, 0), false, 0)
+	}
+	occ := a.InspectSet(0)
+	if occ.Private[0] != 3 || occ.SharedBlocks != 1 {
+		t.Fatalf("occupancy %+v, want 3 private + 1 shared", occ)
+	}
+	// The demoted block still hits (at local latency — it stayed in
+	// core 0's cache).
+	ready, hit := a.Access(0, addrFor(0, 1, 0), false, 5000)
+	if !hit || ready != 5014 {
+		t.Fatalf("demoted block hit at %d (hit=%v), want 5014 local", ready, hit)
+	}
+	// The swap moved it back to private and demoted another block.
+	occ = a.InspectSet(0)
+	if occ.Private[0] != 3 || occ.SharedBlocks != 1 {
+		t.Fatalf("post-swap occupancy %+v", occ)
+	}
+}
+
+func TestRemoteHitLatencyAndSwap(t *testing.T) {
+	a := newTiny(t)
+	// Core 1 fills 5 blocks in set 0: 3 private + 2 shared, which
+	// overflows cache 1's four slots, so one shared block is rehomed to
+	// cache 0 and becomes a remote hit for core 1.
+	for i := uint64(1); i <= 5; i++ {
+		a.Access(1, addrFor(1, i, 0), false, 0)
+	}
+	occ := a.InspectSet(0)
+	if occ.ByHome[1] != 4 || occ.ByHome[0] != 1 {
+		t.Fatalf("home distribution %v, want 4 at core 1 and 1 rehomed to core 0", occ.ByHome)
+	}
+	if occ.ByOwner[1] != 5 {
+		t.Fatalf("core 1 should own all 5 blocks, got %v", occ.ByOwner)
+	}
+	// Find the rehomed block by trying the two shared candidates (tags 1
+	// and 2 were demoted in order). One of them costs 19 cycles.
+	remote := 0
+	for i := uint64(1); i <= 2; i++ {
+		ready, hit := a.Access(1, addrFor(1, i, 0), false, 10000)
+		if !hit {
+			t.Fatalf("tag %d should be resident", i)
+		}
+		if ready == 10019 {
+			remote++
+		} else if ready != 10014 {
+			t.Fatalf("unexpected latency %d", ready-10000)
+		}
+	}
+	if remote != 1 {
+		t.Fatalf("expected exactly one remote hit among demoted blocks, got %d", remote)
+	}
+	if a.CoreStats(1).RemoteHits != 1 {
+		t.Fatalf("remote hit stats: %+v", a.CoreStats(1))
+	}
+}
+
+func TestPollutionProtection(t *testing.T) {
+	a := newTiny(t)
+	// Core 1 warms three blocks (its private target) in set 0.
+	for i := uint64(1); i <= 3; i++ {
+		a.Access(1, addrFor(1, i, 0), false, 0)
+	}
+	// Core 0 streams 100 distinct blocks through the same set.
+	for i := uint64(1); i <= 100; i++ {
+		a.Access(0, addrFor(0, i, 0), false, 0)
+	}
+	// Core 1's private blocks survived: the streaming core could pollute
+	// only the shared partition. This is the paper's central property.
+	for i := uint64(1); i <= 3; i++ {
+		if _, hit := a.Access(1, addrFor(1, i, 0), false, 99999); !hit {
+			t.Fatalf("core 1 block %d was polluted out", i)
+		}
+	}
+}
+
+func TestAlgorithm1EvictsOverLimitOwnerFirst(t *testing.T) {
+	a := newTiny(t)
+	// Core 0 fills 5 blocks: 3 private + 2 shared; owner count 5 > limit 3.
+	for i := uint64(1); i <= 5; i++ {
+		a.Access(0, addrFor(0, i, 0), false, 0)
+	}
+	// Core 1 demotes one block into shared (within its limit of 3:
+	// 3 private + 1 shared = 4 > 3 — also over. Use only 4 fills so its
+	// shared block count is 1, then make core 2 fill to force eviction.
+	for i := uint64(1); i <= 4; i++ {
+		a.Access(1, addrFor(1, i, 0), false, 0)
+	}
+	// Shared now: [core1-tag1 (MRU), core0-tag2, core0-tag1 (LRU)].
+	// Set total = 3+2 + 3+1 = 9. Core 2 installs 8 blocks, overflowing
+	// the 16 slots and forcing evictions. Victims must be over-limit
+	// owners' LRU-most shared blocks: core 0's tag1, then core 0's tag2,
+	// then core 1's tag1, before anything of core 2 goes (its blocks are
+	// newer but its count also exceeds 3 eventually).
+	for i := uint64(1); i <= 8; i++ {
+		a.Access(2, addrFor(2, i, 0), false, 0)
+	}
+	// After 8 fills core 2 holds 3 private + 5 shared = 8; total would be
+	// 9+8 = 17 > 16, so exactly one eviction happened: core 0's LRU-most
+	// shared block (tag 1).
+	if a.Probe(addrFor(0, 1, 0)) {
+		t.Fatal("Algorithm 1 should have evicted core 0's LRU shared block")
+	}
+	if !a.Probe(addrFor(0, 2, 0)) || !a.Probe(addrFor(1, 1, 0)) {
+		t.Fatal("only one block should have been evicted")
+	}
+	if msg := a.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestShadowTagGainCounting(t *testing.T) {
+	a := newTiny(t)
+	// Evict one of core 0's blocks, then miss on it again.
+	for i := uint64(1); i <= 5; i++ {
+		a.Access(0, addrFor(0, i, 0), false, 0)
+	}
+	for i := uint64(1); i <= 8; i++ {
+		a.Access(1, addrFor(1, i, 0), false, 0)
+		a.Access(2, addrFor(2, i, 0), false, 0)
+	}
+	// By now some of core 0's blocks were evicted and their tags recorded
+	// in its shadow register. Count a re-miss.
+	if a.Probe(addrFor(0, 1, 0)) {
+		// Flood more to force it out.
+		for i := uint64(10); i <= 30; i++ {
+			a.Access(3, addrFor(3, i, 0), false, 0)
+		}
+	}
+	shadowBefore, _ := a.Counters()
+	// The shadow register for core 0 holds the tag of its most recently
+	// evicted block. Re-access the last block core 0 lost. We find it by
+	// scanning: access each of core 0's first five blocks; at least one
+	// is gone and one of the gone ones matches the register.
+	for i := uint64(1); i <= 5; i++ {
+		a.Access(0, addrFor(0, i, 0), false, 0)
+	}
+	shadowAfter, _ := a.Counters()
+	if shadowAfter[0] <= shadowBefore[0] {
+		t.Fatalf("expected shadow-tag hits for core 0: before %d after %d", shadowBefore[0], shadowAfter[0])
+	}
+}
+
+func TestLRUHitCounting(t *testing.T) {
+	a := newTiny(t)
+	for i := uint64(1); i <= 3; i++ {
+		a.Access(0, addrFor(0, i, 0), false, 0)
+	}
+	// Private stack (MRU→LRU): 3,2,1. Hitting tag 1 is an LRU hit.
+	a.Access(0, addrFor(0, 1, 0), false, 0)
+	_, lru := a.Counters()
+	if lru[0] != 1 {
+		t.Fatalf("lruHits[0] = %d, want 1", lru[0])
+	}
+	// Hitting the new MRU (tag 1) is not an LRU hit.
+	a.Access(0, addrFor(0, 1, 0), false, 0)
+	_, lru = a.Counters()
+	if lru[0] != 1 {
+		t.Fatalf("MRU hit wrongly counted: lruHits[0] = %d", lru[0])
+	}
+}
+
+func TestRepartitionTransfersBlock(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RepartitionPeriod = 50
+	a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+	var transfers, maxCore0 int
+	a.OnRepartition = func(limits []int, transferred bool) {
+		if transferred {
+			transfers++
+		}
+		if limits[0] > maxCore0 {
+			maxCore0 = limits[0]
+		}
+	}
+	// Set 0 is oversubscribed: core 0 cycles 5 blocks — one more than it
+	// holds, so each of its evicted blocks re-misses while its shadow
+	// register still holds that tag (the single-register estimator
+	// detects exactly this marginal pattern). Cores 1-3 cycle 4 blocks
+	// (total demand 17 > 16 slots). Core 0 accumulates the largest
+	// shadow-tag gain, so the controller transfers capacity toward it
+	// (the system then see-saws as the shrunk core fights back — the
+	// paper's intended dynamic).
+	for round := 0; round < 3000; round++ {
+		a.Access(0, addrFor(0, uint64(round%5+1), 0), false, 0)
+		for c := 1; c < 4; c++ {
+			a.Access(c, addrFor(c, uint64(round%4+1), 0), false, 0)
+		}
+	}
+	limits := a.MaxBlocks()
+	if maxCore0 <= 3 {
+		t.Fatalf("core 0 should have gained capacity at some evaluation: max %d, final %v", maxCore0, limits)
+	}
+	if a.Evaluations == 0 || transfers == 0 || a.Repartitions == 0 {
+		t.Fatalf("controller never acted: evals=%d transfers=%d", a.Evaluations, transfers)
+	}
+	sum := 0
+	for _, m := range limits {
+		sum += m
+	}
+	if sum != 12 {
+		t.Fatalf("limits must sum to 12, got %v", limits)
+	}
+	if msg := a.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRepartitionRespectsLowerBound(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RepartitionPeriod = 20
+	a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+	// Extreme pressure from core 0 for a long time: no core may drop
+	// below 1 and core 0 may not exceed totalWays-(cores-1) = 13.
+	for round := 0; round < 5000; round++ {
+		a.Access(0, addrFor(0, uint64(round%20+1), round%2), false, 0)
+	}
+	for c, m := range a.MaxBlocks() {
+		if m < 1 {
+			t.Fatalf("core %d limit %d < 1", c, m)
+		}
+		if m > 13 {
+			t.Fatalf("core %d limit %d > 13", c, m)
+		}
+	}
+	if msg := a.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRepartitionNoTransferWhenLossExceedsGain(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RepartitionPeriod = 100
+	a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+	evals := 0
+	a.OnRepartition = func(limits []int, transferred bool) {
+		evals++
+		if transferred {
+			t.Fatal("no core shows shadow-tag gain; transfer must not happen")
+		}
+	}
+	// All cores stream (cold misses only): shadow tags never re-match
+	// because every address is new, so measured gain is 0 for everyone.
+	next := make([]uint64, 4)
+	for round := 0; round < 300; round++ {
+		for c := 0; c < 4; c++ {
+			next[c]++
+			a.Access(c, addrFor(c, next[c], round%2), false, 0)
+		}
+	}
+	if evals == 0 {
+		t.Fatal("controller should have evaluated at least once")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	mem := dram.New(dram.PrivateConfig())
+	a := NewAdaptive(tinyConfig(), mem)
+	// Dirty-fill enough blocks in one set to force evictions to memory.
+	for i := uint64(1); i <= 40; i++ {
+		a.Access(0, addrFor(0, i, 0), true, 0)
+		a.Access(1, addrFor(1, i, 0), true, 0)
+	}
+	if mem.Stats.Writebacks == 0 {
+		t.Fatal("dirty evictions should reach memory")
+	}
+	if a.TotalStats().Writebacks != mem.Stats.Writebacks {
+		t.Fatalf("writeback accounting mismatch: org %d mem %d",
+			a.TotalStats().Writebacks, mem.Stats.Writebacks)
+	}
+}
+
+func TestWritebackFromL2(t *testing.T) {
+	mem := dram.New(dram.PrivateConfig())
+	a := NewAdaptive(tinyConfig(), mem)
+	addr := addrFor(0, 1, 0)
+	a.Access(0, addr, false, 0) // clean fill
+	a.WritebackFromL2(0, addr, 100)
+	if mem.Stats.Writebacks != 0 {
+		t.Fatal("resident block should absorb the L2 writeback")
+	}
+	// Now evict it (dirty) and confirm the writeback fires.
+	for i := uint64(2); i <= 40; i++ {
+		a.Access(1, addrFor(1, i, 0), false, 0)
+		a.Access(2, addrFor(2, i, 0), false, 0)
+		a.Access(3, addrFor(3, i, 0), false, 0)
+	}
+	if a.Probe(addr) {
+		t.Skip("block unexpectedly survived; eviction-path writeback covered elsewhere")
+	}
+	if mem.Stats.Writebacks == 0 {
+		t.Fatal("dirty block evicted without writeback")
+	}
+	// Absent block: L2 writeback goes straight to memory.
+	before := mem.Stats.Writebacks
+	a.WritebackFromL2(0, addrFor(0, 99, 1), 500)
+	if mem.Stats.Writebacks != before+1 {
+		t.Fatal("absent-block writeback must go to memory")
+	}
+}
+
+func TestSpacesDoNotAlias(t *testing.T) {
+	a := newTiny(t)
+	a.Access(0, addrFor(0, 7, 0), false, 0)
+	if _, hit := a.Access(1, addrFor(1, 7, 0), false, 0); hit {
+		t.Fatal("same virtual address in different spaces must not alias")
+	}
+}
+
+func TestReset(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RepartitionPeriod = 10
+	a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+	for i := uint64(1); i <= 50; i++ {
+		a.Access(0, addrFor(0, i, 0), false, 0)
+	}
+	a.Reset()
+	if a.TotalStats().Accesses != 0 || a.Repartitions != 0 {
+		t.Fatal("stats not reset")
+	}
+	for _, m := range a.MaxBlocks() {
+		if m != 3 {
+			t.Fatalf("limits not reset: %v", a.MaxBlocks())
+		}
+	}
+	if _, hit := a.Access(0, addrFor(0, 1, 0), false, 0); hit {
+		t.Fatal("contents not reset")
+	}
+}
+
+func TestShadowSamplingNormalization(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BytesPerCore = 32 * 4 * 64 // 32 sets so sampling leaves 2 sets
+	cfg.ShadowSampleShift = 4
+	cfg.RepartitionPeriod = 100
+	a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+	maxCore0 := 0
+	a.OnRepartition = func(limits []int, transferred bool) {
+		if limits[0] > maxCore0 {
+			maxCore0 = limits[0]
+		}
+	}
+	// Monitored set 0 is oversubscribed (core 0 cycles 5 blocks — one
+	// past its allowance, matching the shadow register — and cores 1-3
+	// cycle 4): the sampled gain, normalized by the factor, must win
+	// against near-zero losses and grow core 0's allowance.
+	for round := 0; round < 3000; round++ {
+		a.Access(0, memaddr.Addr(uint64(round%5+1)<<11).WithSpace(0), false, 0)
+		for c := 1; c < 4; c++ {
+			a.Access(c, memaddr.Addr(uint64(round%4+1)<<11).WithSpace(c), false, 0)
+		}
+	}
+	if maxCore0 <= 3 {
+		t.Fatalf("sampled shadow tags failed to drive repartitioning: max %d, final %v", maxCore0, a.MaxBlocks())
+	}
+}
+
+func TestMinimumTwoCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1-core adaptive config")
+		}
+	}()
+	NewAdaptive(Config{Cores: 1}, dram.New(dram.PrivateConfig()))
+}
+
+// Property: arbitrary interleaved access streams never violate the
+// structural invariants, and the limits always sum to the initial total.
+func TestPropertyInvariantsUnderRandomStreams(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		cfg := tinyConfig()
+		cfg.RepartitionPeriod = 30
+		a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+		r := rng.New(seed)
+		steps := int(n%800) + 100
+		for i := 0; i < steps; i++ {
+			c := r.Intn(4)
+			tag := uint64(r.Intn(12) + 1)
+			set := r.Intn(2)
+			a.Access(c, addrFor(c, tag, set), r.Bool(0.3), uint64(i))
+			if i%97 == 0 {
+				if a.CheckInvariants() != "" {
+					return false
+				}
+			}
+		}
+		return a.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical seeds produce identical statistics (determinism).
+func TestPropertyDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) llc.AccessStats {
+		cfg := tinyConfig()
+		cfg.RepartitionPeriod = 25
+		a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+		r := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			c := r.Intn(4)
+			a.Access(c, addrFor(c, uint64(r.Intn(9)+1), r.Intn(2)), false, uint64(i))
+		}
+		return a.TotalStats()
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed must produce identical stats")
+	}
+}
+
+func TestScaledLatencies(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Latencies = llc.ScaledLatencies()
+	a := NewAdaptive(cfg, dram.New(dram.ScaledConfig(false)))
+	addr := addrFor(0, 1, 0)
+	ready, _ := a.Access(0, addr, false, 0)
+	if ready != 330 {
+		t.Fatalf("scaled miss at %d, want 330", ready)
+	}
+	ready, hit := a.Access(0, addr, false, 1000)
+	if !hit || ready != 1016 {
+		t.Fatalf("scaled local hit at %d, want 1016", ready)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+// CostParams parameterizes the Section 2.7 storage-cost model. Zero fields
+// select the paper's baseline: 4096 sets, 4 cores, 4 MB of aggregate L3 in
+// 64-byte blocks (65536 blocks), 24-bit tags, 16-bit counters/registers,
+// and shadow tags in ~6 % of the sets (1/16).
+type CostParams struct {
+	Sets        int  // s: sets per local cache (default 4096)
+	Cores       int  // p: number of cores (default 4)
+	TagBits     int  // t: bits per stored tag (default 24)
+	TotalBlocks int  // b: blocks in the aggregate L3 (default 65536)
+	CounterBits int  // w: bits per counter/register (default 16)
+	SampleShift uint // shadow tags in sets >> SampleShift (default 4 = 1/16)
+}
+
+func (p CostParams) withDefaults() CostParams {
+	if p.Sets == 0 {
+		p.Sets = 4096
+	}
+	if p.Cores == 0 {
+		p.Cores = 4
+	}
+	if p.TagBits == 0 {
+		p.TagBits = 24
+	}
+	if p.TotalBlocks == 0 {
+		p.TotalBlocks = (4 << 20) / 64
+	}
+	if p.CounterBits == 0 {
+		p.CounterBits = 16
+	}
+	return p
+}
+
+// Cost is the Section 2.7 storage breakdown, in bits.
+type Cost struct {
+	ShadowTagBits int // monitored sets × cores × tag bits
+	CoreIDBits    int // log2(cores) bits per cache block (Figure 4(a))
+	CounterBits   int // two counters + one partition register per core
+	TotalBits     int
+}
+
+// KBits returns the total in kilobits (1 Kbit = 1024 bits), the unit the
+// paper reports (152 Kbit for the baseline).
+func (c Cost) KBits() float64 { return float64(c.TotalBits) / 1024 }
+
+// ShadowShare returns the shadow tags' share of the total (paper: 16 %).
+func (c Cost) ShadowShare() float64 {
+	if c.TotalBits == 0 {
+		return 0
+	}
+	return float64(c.ShadowTagBits) / float64(c.TotalBits)
+}
+
+// CoreIDShare returns the core-ID field's share of the total (paper: 84 %).
+func (c Cost) CoreIDShare() float64 {
+	if c.TotalBits == 0 {
+		return 0
+	}
+	return float64(c.CoreIDBits) / float64(c.TotalBits)
+}
+
+// OverheadOf returns the total as a fraction of a cache of the given byte
+// capacity (paper: 0.5 % of a 4-MB L3).
+func (c Cost) OverheadOf(cacheBytes int) float64 {
+	if cacheBytes == 0 {
+		return 0
+	}
+	return float64(c.TotalBits) / float64(cacheBytes*8)
+}
+
+// StorageCost evaluates the paper's formula
+//
+//	monitoredSets·p·t + log2(p)·b + p·3·w
+//
+// (Section 2.7, with the 0.06·s term made exact as sets>>SampleShift).
+func StorageCost(p CostParams) Cost {
+	p = p.withDefaults()
+	monitored := p.Sets >> p.SampleShift
+	if monitored == 0 {
+		monitored = 1
+	}
+	log2p := 0
+	for 1<<log2p < p.Cores {
+		log2p++
+	}
+	c := Cost{
+		ShadowTagBits: monitored * p.Cores * p.TagBits,
+		CoreIDBits:    log2p * p.TotalBlocks,
+		CounterBits:   p.Cores * 3 * p.CounterBits,
+	}
+	c.TotalBits = c.ShadowTagBits + c.CoreIDBits + c.CounterBits
+	return c
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaselineStorageCostMatchesPaper(t *testing.T) {
+	// Section 2.7: the baseline costs ~152 Kbit, of which ~16 % is shadow
+	// tags and ~84 % core IDs, an overhead of ~0.5 % of the 4-MB L3.
+	c := StorageCost(CostParams{SampleShift: 4})
+	if math.Abs(c.KBits()-152) > 5 {
+		t.Fatalf("total = %.1f Kbit, want ~152", c.KBits())
+	}
+	if math.Abs(c.ShadowShare()-0.16) > 0.02 {
+		t.Fatalf("shadow share = %.3f, want ~0.16", c.ShadowShare())
+	}
+	if math.Abs(c.CoreIDShare()-0.84) > 0.02 {
+		t.Fatalf("core-ID share = %.3f, want ~0.84", c.CoreIDShare())
+	}
+	if ov := c.OverheadOf(4 << 20); math.Abs(ov-0.005) > 0.001 {
+		t.Fatalf("overhead = %.4f, want ~0.005", ov)
+	}
+}
+
+func TestCoreIDBitsExact(t *testing.T) {
+	// 4 cores → 2 bits per block; 65536 blocks → 131072 bits.
+	c := StorageCost(CostParams{SampleShift: 4})
+	if c.CoreIDBits != 131072 {
+		t.Fatalf("CoreIDBits = %d, want 131072", c.CoreIDBits)
+	}
+}
+
+func TestShadowBitsScaleWithSampling(t *testing.T) {
+	full := StorageCost(CostParams{SampleShift: 0})
+	sampled := StorageCost(CostParams{SampleShift: 4})
+	if full.ShadowTagBits != 16*sampled.ShadowTagBits {
+		t.Fatalf("full %d vs sampled %d: want 16x", full.ShadowTagBits, sampled.ShadowTagBits)
+	}
+}
+
+func TestCounterBits(t *testing.T) {
+	c := StorageCost(CostParams{})
+	// p * 3 * w = 4 * 3 * 16.
+	if c.CounterBits != 192 {
+		t.Fatalf("CounterBits = %d, want 192", c.CounterBits)
+	}
+}
+
+func TestNonPowerOfTwoCores(t *testing.T) {
+	// log2(3 cores) rounds up to 2 bits.
+	c := StorageCost(CostParams{Cores: 3, TotalBlocks: 100, SampleShift: 0, Sets: 16, TagBits: 10, CounterBits: 8})
+	if c.CoreIDBits != 200 {
+		t.Fatalf("CoreIDBits = %d, want 200 (2 bits x 100 blocks)", c.CoreIDBits)
+	}
+}
+
+func TestZeroCostShares(t *testing.T) {
+	var c Cost
+	if c.ShadowShare() != 0 || c.CoreIDShare() != 0 || c.OverheadOf(0) != 0 {
+		t.Fatal("zero cost must report zero shares")
+	}
+}
+
+func TestSampleShiftClampsToOneSet(t *testing.T) {
+	c := StorageCost(CostParams{Sets: 4, SampleShift: 10, Cores: 2, TagBits: 10, TotalBlocks: 8, CounterBits: 8})
+	if c.ShadowTagBits != 1*2*10 {
+		t.Fatalf("ShadowTagBits = %d, want 20 (one monitored set)", c.ShadowTagBits)
+	}
+}

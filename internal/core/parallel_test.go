@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"nucasim/internal/dram"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/rng"
+)
+
+// sharedAddr returns an address in the common shared space mapping to
+// (tag, set) under the tiny geometry.
+func sharedAddr(tag uint64, set int) memaddr.Addr {
+	return memaddr.Addr(tag<<7 | uint64(set)<<6).WithSpace(200)
+}
+
+func TestSharedBlockVisibleAcrossCores(t *testing.T) {
+	a := newTiny(t)
+	addr := sharedAddr(1, 0)
+	a.Access(0, addr, false, 0) // core 0 fetches into its private partition
+	// Core 1 must find it (in core 0's private partition) as a remote
+	// hit, not refetch from memory.
+	ready, hit := a.Access(1, addr, false, 1000)
+	if !hit {
+		t.Fatal("shared block in a neighbor's private partition must hit")
+	}
+	if ready != 1019 {
+		t.Fatalf("cross-partition hit at %d, want 1019 (remote latency)", ready)
+	}
+	if a.CoreStats(1).RemoteHits != 1 {
+		t.Fatalf("remote hit not counted: %+v", a.CoreStats(1))
+	}
+	// The block migrated: core 1 now hits locally.
+	ready, hit = a.Access(1, addr, false, 2000)
+	if !hit || ready != 2014 {
+		t.Fatalf("migrated block should hit locally at 14 cycles, got %d (hit=%v)", ready, hit)
+	}
+}
+
+func TestSharedBlockNeverDuplicated(t *testing.T) {
+	a := newTiny(t)
+	addr := sharedAddr(3, 1)
+	for round := 0; round < 20; round++ {
+		for c := 0; c < 4; c++ {
+			a.Access(c, addr, round%2 == 0, uint64(round*100+c))
+		}
+	}
+	if msg := a.CheckInvariants(); msg != "" {
+		t.Fatalf("ping-ponged shared block broke invariants: %s", msg)
+	}
+	// Only one copy can exist: total misses for this block is exactly 1
+	// (the first fetch).
+	if misses := a.TotalStats().Misses; misses != 1 {
+		t.Fatalf("shared block fetched %d times, want 1", misses)
+	}
+}
+
+func TestSharedMigrationTransfersOwnership(t *testing.T) {
+	a := newTiny(t)
+	addr := sharedAddr(5, 0)
+	a.Access(0, addr, false, 0)
+	a.Access(1, addr, false, 100)
+	occ := a.InspectSet(0)
+	if occ.ByOwner[0] != 0 || occ.ByOwner[1] != 1 {
+		t.Fatalf("ownership should follow the migration: %v", occ.ByOwner)
+	}
+}
+
+func TestSharedWritebackFindsBlockAnywhere(t *testing.T) {
+	mem := dram.New(dram.PrivateConfig())
+	a := NewAdaptive(tinyConfig(), mem)
+	addr := sharedAddr(7, 0)
+	a.Access(0, addr, false, 0) // clean, in core 0's partition
+	// Core 1's L2 writes the shared block back: it must be absorbed by
+	// the copy in core 0's private partition, not sent to memory.
+	a.WritebackFromL2(1, addr, 500)
+	if mem.Stats.Writebacks != 0 {
+		t.Fatal("writeback should be absorbed by the resident copy")
+	}
+}
+
+func TestMixedSharedAndPrivateTrafficInvariants(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RepartitionPeriod = 40
+	a := NewAdaptive(cfg, dram.New(dram.PrivateConfig()))
+	r := rng.New(5)
+	for i := 0; i < 4000; i++ {
+		c := r.Intn(4)
+		if r.Bool(0.4) {
+			a.Access(c, sharedAddr(uint64(r.Intn(6)+1), r.Intn(2)), r.Bool(0.2), uint64(i))
+		} else {
+			a.Access(c, addrFor(c, uint64(r.Intn(8)+1), r.Intn(2)), r.Bool(0.2), uint64(i))
+		}
+		if i%211 == 0 {
+			if msg := a.CheckInvariants(); msg != "" {
+				t.Fatalf("step %d: %s", i, msg)
+			}
+		}
+	}
+	if msg := a.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,449 @@
+// Package cpu implements the cycle-level out-of-order core timing model of
+// the paper's baseline (Table 1): a SimpleScalar-style machine with a
+// 128-entry register update unit (RUU), a 64-entry load/store queue, a
+// 4-instruction fetch queue, 4-wide fetch/decode/issue/commit, the Table 1
+// functional-unit pool, a combined branch predictor with a 7-cycle
+// misprediction penalty, and non-blocking data caches (MSHR-limited miss
+// overlap — the memory-level parallelism that determines how much a cache
+// miss actually costs).
+//
+// The model runs in lockstep with its siblings: the simulator calls
+// Step(now) once per core per cycle so that contention in the shared
+// last-level cache and memory channel is interleaved faithfully.
+//
+// Approximations (standard for trace-driven OoO models, documented in
+// DESIGN.md): mispredicted branches stall dispatch until the branch
+// resolves plus the refill penalty instead of executing wrong-path
+// instructions, and stores complete into a write buffer at L1 latency
+// while their miss traffic is charged to the hierarchy asynchronously.
+package cpu
+
+import (
+	"math"
+
+	"nucasim/internal/bpred"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/workload"
+)
+
+// Port is the core's view of the memory hierarchy (implemented by
+// internal/hierarchy). All methods return the absolute cycle at which the
+// access completes.
+type Port interface {
+	// ReadData performs a data load issued at cycle now.
+	ReadData(addr memaddr.Addr, now uint64) (ready uint64)
+	// WriteData performs a data store issued at cycle now
+	// (write-allocate; the returned time is when the line is written).
+	WriteData(addr memaddr.Addr, now uint64) (ready uint64)
+	// FetchInstr fetches the instruction block containing pc.
+	FetchInstr(pc memaddr.Addr, now uint64) (ready uint64)
+}
+
+// Config sizes the core. Zero fields select Table 1 defaults.
+type Config struct {
+	RUUSize    int // default 128
+	LSQSize    int // default 64
+	FetchQueue int // default 4
+	Width      int // fetch/decode/issue/commit width, default 4
+
+	IntALUs  int // default 4
+	FPALUs   int // default 4
+	IntMuls  int // default 1
+	FPMuls   int // default 1
+	MemPorts int // L1D ports, default 2
+	MSHRs    int // outstanding L2-or-beyond misses, default 8
+
+	MispredictPenalty int // default 7
+
+	IntALULat int // default 1
+	IntMulLat int // default 3
+	FPALULat  int // default 2
+	FPMulLat  int // default 4
+	L1ILat    int // fetch bubbles start beyond this latency; default 2
+}
+
+func (c Config) withDefaults() Config {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.RUUSize, 128)
+	def(&c.LSQSize, 64)
+	def(&c.FetchQueue, 4)
+	def(&c.Width, 4)
+	def(&c.IntALUs, 4)
+	def(&c.FPALUs, 4)
+	def(&c.IntMuls, 1)
+	def(&c.FPMuls, 1)
+	def(&c.MemPorts, 2)
+	def(&c.MSHRs, 8)
+	def(&c.MispredictPenalty, 7)
+	def(&c.IntALULat, 1)
+	def(&c.IntMulLat, 3)
+	def(&c.FPALULat, 2)
+	def(&c.FPMulLat, 4)
+	def(&c.L1ILat, 2)
+	return c
+}
+
+// Stats reports the core's progress and event counts.
+type Stats struct {
+	Cycles         uint64
+	Instructions   uint64 // committed
+	Loads          uint64
+	Stores         uint64
+	Branches       uint64
+	Mispredicts    uint64
+	FetchStalls    uint64 // cycles fetch was blocked on the I-side
+	DispatchStalls uint64 // cycles dispatch was blocked (RUU/LSQ/mispredict)
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredicted branches per executed branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+const notIssued = math.MaxUint64
+
+// ruuEntry is one in-flight instruction.
+type ruuEntry struct {
+	cls     workload.Class
+	seq     uint64
+	depA    uint64 // producer sequence numbers (0 = none)
+	depB    uint64
+	addr    memaddr.Addr
+	readyAt uint64 // completion cycle; notIssued until issued
+	issued  bool
+}
+
+// Core is one simulated out-of-order processor.
+type Core struct {
+	ID   int
+	cfg  Config
+	gen  *workload.Generator
+	port Port
+	bp   *bpred.Predictor
+
+	// RUU ring buffer. head/tail are absolute instruction positions
+	// (index = pos % RUUSize); scanAbs is the issue-scan frontier:
+	// every entry before it is already issued, so the per-cycle scan
+	// skips the (often long) issued prefix.
+	ruu     []ruuEntry
+	head    uint64
+	tail    uint64
+	scanAbs uint64
+	lsqLen  int
+
+	fetchQ         []workload.Instr
+	fetchReady     uint64 // cycle at which the I-side can deliver again
+	lastFetchBlock memaddr.Addr
+
+	// Dispatch hold for mispredicted branches: no dispatch until this
+	// cycle (branch resolution + refill penalty).
+	dispatchHold uint64
+	// pendingHoldSeq marks the branch whose resolution sets the hold.
+	pendingHoldSeq uint64
+	pendingHoldSet bool
+
+	// readyBySeq records the completion cycle of each instruction once
+	// it issues (slots are marked pending at dispatch). Producers older
+	// than the RUU window have committed and are always ready.
+	readyBySeq []uint64
+
+	// mshr holds the completion times of in-flight long-latency loads;
+	// its length is the MSHR occupancy.
+	mshr []uint64
+
+	nextSeq uint64
+	stats   Stats
+}
+
+// New builds a core over an instruction generator, a memory port, and a
+// branch predictor (each core owns its own predictor).
+func New(id int, cfg Config, gen *workload.Generator, port Port, bp *bpred.Predictor) *Core {
+	cfg = cfg.withDefaults()
+	return &Core{
+		ID:         id,
+		cfg:        cfg,
+		gen:        gen,
+		port:       port,
+		bp:         bp,
+		ruu:        make([]ruuEntry, cfg.RUUSize),
+		fetchQ:     make([]workload.Instr, 0, cfg.FetchQueue),
+		readyBySeq: make([]uint64, 4096),
+		nextSeq:    1, // seq 0 means "no producer"
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// WarmFunctional advances the core's program by n instructions without
+// timing: memory references walk the cache hierarchy (filling it) and
+// branches train the predictor, but no cycles pass. This is the classic
+// fast-forward-with-warmup used to model the paper's 0.5-1.5 G-instruction
+// skip: after it, the caches and predictor hold the working set so the
+// timed window measures steady-state behaviour. The caller should
+// interleave cores in small chunks (shared structures see interleaved
+// streams) and reset the memory channel afterwards.
+func (c *Core) WarmFunctional(n uint64) {
+	var ins workload.Instr
+	for i := uint64(0); i < n; i++ {
+		c.gen.Next(&ins)
+		if blk := ins.PC.Block(); blk != c.lastFetchBlock {
+			c.lastFetchBlock = blk
+			c.port.FetchInstr(ins.PC, 0)
+		}
+		switch ins.Class {
+		case workload.Load:
+			c.port.ReadData(ins.Addr, 0)
+		case workload.Store:
+			c.port.WriteData(ins.Addr, 0)
+		case workload.Branch:
+			c.bp.Resolve(ins.PC, ins.Taken, ins.Target)
+		}
+	}
+}
+
+// Step advances the core by one cycle ending at time now. Stages run in
+// commit → issue → dispatch → fetch order so a result produced this cycle
+// is consumed the next — the usual reverse-pipeline update.
+func (c *Core) Step(now uint64) {
+	c.stats.Cycles++
+	c.commit(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fetch(now)
+}
+
+func (c *Core) commit(now uint64) {
+	for n := 0; n < c.cfg.Width && c.head < c.tail; n++ {
+		e := &c.ruu[c.head%uint64(c.cfg.RUUSize)]
+		if !e.issued || e.readyAt > now {
+			return
+		}
+		if e.cls == workload.Load || e.cls == workload.Store {
+			c.lsqLen--
+		}
+		c.head++
+		c.stats.Instructions++
+	}
+}
+
+// producerReady returns the cycle the producer of seq's operand completes,
+// or 0 if it has no producer / the producer is long gone.
+func (c *Core) producerReady(dep uint64) uint64 {
+	if dep == 0 {
+		return 0
+	}
+	return c.readyBySeq[dep%uint64(len(c.readyBySeq))]
+}
+
+func (c *Core) issue(now uint64) {
+	intALU, fpALU := c.cfg.IntALUs, c.cfg.FPALUs
+	intMul, fpMul := c.cfg.IntMuls, c.cfg.FPMuls
+	memPorts := c.cfg.MemPorts
+	issued := 0
+	// Retire completed MSHR entries.
+	keep := c.mshr[:0]
+	for _, t := range c.mshr {
+		if t > now {
+			keep = append(keep, t)
+		}
+	}
+	c.mshr = keep
+
+	start := c.scanAbs
+	if start < c.head {
+		start = c.head
+	}
+	// newScan becomes the first position that is (or may be) unissued
+	// after this cycle's pass.
+	newScan := c.tail
+	size := uint64(c.cfg.RUUSize)
+	for pos := start; pos < c.tail; pos++ {
+		if issued == c.cfg.Width {
+			if pos < newScan {
+				newScan = pos
+			}
+			break
+		}
+		e := &c.ruu[pos%size]
+		if e.issued {
+			continue
+		}
+		stuck := func() {
+			if newScan == c.tail {
+				newScan = pos
+			}
+		}
+		if a := c.producerReady(e.depA); a > now {
+			stuck()
+			continue
+		}
+		if b := c.producerReady(e.depB); b > now {
+			stuck()
+			continue
+		}
+		switch e.cls {
+		case workload.IntALU, workload.Branch:
+			if intALU == 0 {
+				stuck()
+				continue
+			}
+			intALU--
+			e.readyAt = now + uint64(c.cfg.IntALULat)
+		case workload.IntMul:
+			if intMul == 0 {
+				stuck()
+				continue
+			}
+			intMul--
+			e.readyAt = now + uint64(c.cfg.IntMulLat)
+		case workload.FPALU:
+			if fpALU == 0 {
+				stuck()
+				continue
+			}
+			fpALU--
+			e.readyAt = now + uint64(c.cfg.FPALULat)
+		case workload.FPMul:
+			if fpMul == 0 {
+				stuck()
+				continue
+			}
+			fpMul--
+			e.readyAt = now + uint64(c.cfg.FPMulLat)
+		case workload.Load:
+			if memPorts == 0 || len(c.mshr) >= c.cfg.MSHRs {
+				stuck()
+				continue
+			}
+			memPorts--
+			e.readyAt = c.port.ReadData(e.addr, now)
+			if e.readyAt > now+missThreshold {
+				c.mshr = append(c.mshr, e.readyAt)
+			}
+		case workload.Store:
+			if memPorts == 0 || len(c.mshr) >= c.cfg.MSHRs {
+				stuck()
+				continue
+			}
+			memPorts--
+			// Write-buffer approximation: traffic charged now,
+			// completion at L1 write latency.
+			c.port.WriteData(e.addr, now)
+			e.readyAt = now + 3
+		}
+		e.issued = true
+		c.readyBySeq[e.seq%uint64(len(c.readyBySeq))] = e.readyAt
+		issued++
+		// A resolving mispredicted branch releases dispatch after the
+		// refill penalty.
+		if c.pendingHoldSet && e.seq == c.pendingHoldSeq {
+			c.dispatchHold = e.readyAt + uint64(c.cfg.MispredictPenalty)
+			c.pendingHoldSet = false
+		}
+	}
+	c.scanAbs = newScan
+}
+
+// missThreshold is the latency above which a load counts as an L2-or-worse
+// miss and occupies an MSHR (Table 1: L2 hits complete within 9 cycles).
+const missThreshold = 12
+
+func (c *Core) dispatch(now uint64) {
+	if now < c.dispatchHold || c.pendingHoldSet {
+		c.stats.DispatchStalls++
+		return
+	}
+	for n := 0; n < c.cfg.Width && len(c.fetchQ) > 0; n++ {
+		if c.tail-c.head == uint64(c.cfg.RUUSize) {
+			c.stats.DispatchStalls++
+			return
+		}
+		ins := c.fetchQ[0]
+		isMem := ins.Class == workload.Load || ins.Class == workload.Store
+		if isMem && c.lsqLen == c.cfg.LSQSize {
+			c.stats.DispatchStalls++
+			return
+		}
+		c.fetchQ = c.fetchQ[:copy(c.fetchQ, c.fetchQ[1:])]
+		seq := c.nextSeq
+		c.nextSeq++
+		e := ruuEntry{
+			cls:     ins.Class,
+			seq:     seq,
+			addr:    ins.Addr,
+			readyAt: notIssued,
+		}
+		// Producers further back than the RUU window have committed and
+		// are always ready; recording them would alias into the ring.
+		if d := uint64(ins.Dep1); d > 0 && d < seq && d <= uint64(c.cfg.RUUSize) {
+			e.depA = seq - d
+		}
+		if d := uint64(ins.Dep2); d > 0 && d < seq && d <= uint64(c.cfg.RUUSize) {
+			e.depB = seq - d
+		}
+		// Mark the slot in readyBySeq as pending so dependents never
+		// see a stale completion from a previous lap of the ring.
+		c.readyBySeq[seq%uint64(len(c.readyBySeq))] = notIssued
+		c.ruu[c.tail%uint64(c.cfg.RUUSize)] = e
+		c.tail++
+		if isMem {
+			c.lsqLen++
+			if ins.Class == workload.Load {
+				c.stats.Loads++
+			} else {
+				c.stats.Stores++
+			}
+		}
+		if ins.Class == workload.Branch {
+			c.stats.Branches++
+			if c.bp.Resolve(ins.PC, ins.Taken, ins.Target) {
+				c.stats.Mispredicts++
+				// Dispatch freezes until this branch resolves in
+				// the pipeline plus the refill penalty.
+				c.pendingHoldSeq = seq
+				c.pendingHoldSet = true
+				return
+			}
+		}
+	}
+}
+
+func (c *Core) fetch(now uint64) {
+	if now < c.fetchReady {
+		c.stats.FetchStalls++
+		return
+	}
+	var ins workload.Instr
+	for n := 0; n < c.cfg.Width && len(c.fetchQ) < c.cfg.FetchQueue; n++ {
+		c.gen.Next(&ins)
+		blk := ins.PC.Block()
+		if blk != c.lastFetchBlock {
+			c.lastFetchBlock = blk
+			ready := c.port.FetchInstr(ins.PC, now)
+			if ready > now+uint64(c.cfg.L1ILat) {
+				// I-side miss: the just-fetched instruction arrives
+				// when the block does; stall further fetch.
+				c.fetchReady = ready
+				c.fetchQ = append(c.fetchQ, ins)
+				return
+			}
+		}
+		c.fetchQ = append(c.fetchQ, ins)
+	}
+}

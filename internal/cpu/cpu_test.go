@@ -1,0 +1,217 @@
+package cpu
+
+import (
+	"testing"
+
+	"nucasim/internal/bpred"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/rng"
+	"nucasim/internal/workload"
+)
+
+// nullPort services every access at L1 latency.
+type nullPort struct{}
+
+func (nullPort) ReadData(a memaddr.Addr, now uint64) uint64   { return now + 3 }
+func (nullPort) WriteData(a memaddr.Addr, now uint64) uint64  { return now + 3 }
+func (nullPort) FetchInstr(a memaddr.Addr, now uint64) uint64 { return now + 2 }
+
+// fixedLatPort returns a fixed latency for data reads and counts calls.
+type fixedLatPort struct {
+	lat   uint64
+	reads int
+	times []uint64
+}
+
+func (p *fixedLatPort) ReadData(a memaddr.Addr, now uint64) uint64 {
+	p.reads++
+	p.times = append(p.times, now)
+	return now + p.lat
+}
+func (p *fixedLatPort) WriteData(a memaddr.Addr, now uint64) uint64  { return now + 3 }
+func (p *fixedLatPort) FetchInstr(a memaddr.Addr, now uint64) uint64 { return now + 2 }
+
+func aluApp(depDist float64) workload.AppParams {
+	return workload.AppParams{
+		Name: "alu", MeanDepDist: depDist,
+		Layers: []workload.Layer{{Frac: 1, Blocks: 64}},
+	}
+}
+
+func memApp(loadFrac float64, chase float64) workload.AppParams {
+	return workload.AppParams{
+		Name: "mem", MeanDepDist: 10, LoadFrac: loadFrac, PointerChase: chase,
+		Layers: []workload.Layer{{Frac: 1, Blocks: 1 << 16, Random: true}},
+	}
+}
+
+func runCore(t *testing.T, p workload.AppParams, port Port, cycles uint64) *Core {
+	t.Helper()
+	g := workload.NewGenerator(p, 0, rng.New(1))
+	c := New(0, Config{}, g, port, bpred.New(bpred.Config{}))
+	for cyc := uint64(0); cyc < cycles; cyc++ {
+		c.Step(cyc)
+	}
+	return c
+}
+
+func TestHighILPApproachesWidth(t *testing.T) {
+	c := runCore(t, aluApp(25), nullPort{}, 50_000)
+	if ipc := c.Stats().IPC(); ipc < 3.0 {
+		t.Fatalf("high-ILP ALU stream IPC = %.2f, want near the width of 4", ipc)
+	}
+}
+
+func TestSerialDependencyChainsLimitIPC(t *testing.T) {
+	wide := runCore(t, aluApp(25), nullPort{}, 50_000)
+	narrow := runCore(t, aluApp(1.5), nullPort{}, 50_000)
+	if narrow.Stats().IPC() >= wide.Stats().IPC() {
+		t.Fatalf("serial chains should reduce IPC: %.2f vs %.2f",
+			narrow.Stats().IPC(), wide.Stats().IPC())
+	}
+	if narrow.Stats().IPC() > 2.5 {
+		t.Fatalf("dep-distance-1.5 IPC = %.2f, too high for serial code", narrow.Stats().IPC())
+	}
+}
+
+func TestMemoryLatencySensitivity(t *testing.T) {
+	fast := runCore(t, memApp(0.3, 0), &fixedLatPort{lat: 3}, 50_000)
+	slow := runCore(t, memApp(0.3, 0), &fixedLatPort{lat: 300}, 50_000)
+	rf, rs := fast.Stats().IPC(), slow.Stats().IPC()
+	if rs >= rf {
+		t.Fatalf("300-cycle loads should hurt: %.2f vs %.2f", rs, rf)
+	}
+	if rs > rf/2 {
+		t.Fatalf("memory-bound IPC %.2f not much below fast IPC %.2f", rs, rf)
+	}
+}
+
+func TestMLPOverlapsIndependentMisses(t *testing.T) {
+	// Independent loads (no pointer chasing) overlap inside the MSHRs, so
+	// IPC is far better than the fully-serialized bound.
+	p := memApp(0.3, 0)
+	c := runCore(t, p, &fixedLatPort{lat: 300}, 100_000)
+	ipc := c.Stats().IPC()
+	// Serialized bound: every load takes 300 cycles back-to-back.
+	serialized := 1.0 / (0.3 * 300)
+	if ipc < serialized*2 {
+		t.Fatalf("IPC %.4f shows no MLP (serialized bound %.4f)", ipc, serialized)
+	}
+}
+
+func TestPointerChasingDefeatsMLP(t *testing.T) {
+	indep := runCore(t, memApp(0.3, 0), &fixedLatPort{lat: 300}, 100_000)
+	chase := runCore(t, memApp(0.3, 0.95), &fixedLatPort{lat: 300}, 100_000)
+	if chase.Stats().IPC() >= indep.Stats().IPC()*0.7 {
+		t.Fatalf("pointer chasing should hurt: %.4f vs %.4f",
+			chase.Stats().IPC(), indep.Stats().IPC())
+	}
+}
+
+func TestMSHRLimitsOutstandingMisses(t *testing.T) {
+	// With 2 MSHRs, at most 2 long-latency loads may be outstanding: the
+	// port must never see a third read while two are in flight.
+	p := memApp(0.5, 0)
+	port := &fixedLatPort{lat: 300}
+	g := workload.NewGenerator(p, 0, rng.New(1))
+	c := New(0, Config{MSHRs: 2}, g, port, bpred.New(bpred.Config{}))
+	for cyc := uint64(0); cyc < 20_000; cyc++ {
+		c.Step(cyc)
+	}
+	// Verify issue times: within any 300-cycle window at most 2 reads.
+	for i := 2; i < len(port.times); i++ {
+		if port.times[i]-port.times[i-2] < 300 {
+			t.Fatalf("3 reads within 300 cycles at %v", port.times[i-2:i+1])
+		}
+	}
+	if port.reads < 10 {
+		t.Fatalf("only %d reads issued; test under-exercised", port.reads)
+	}
+}
+
+func TestMispredictsCostCycles(t *testing.T) {
+	clean := workload.AppParams{
+		Name: "clean", MeanDepDist: 10, BranchFrac: 0.15,
+		RandomBranchFrac: 0, TakenBias: 0.9,
+		Layers: []workload.Layer{{Frac: 1, Blocks: 64}},
+	}
+	noisy := clean
+	noisy.RandomBranchFrac = 1.0
+	noisy.TakenBias = 0.5
+	rc := runCore(t, clean, nullPort{}, 50_000)
+	rn := runCore(t, noisy, nullPort{}, 50_000)
+	if rn.Stats().MispredictRate() <= rc.Stats().MispredictRate() {
+		t.Fatalf("random branches should mispredict more: %.3f vs %.3f",
+			rn.Stats().MispredictRate(), rc.Stats().MispredictRate())
+	}
+	if rn.Stats().IPC() >= rc.Stats().IPC()*0.9 {
+		t.Fatalf("mispredicts should cost IPC: %.2f vs %.2f",
+			rn.Stats().IPC(), rc.Stats().IPC())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() Stats {
+		g := workload.NewGenerator(memApp(0.3, 0.2), 0, rng.New(9))
+		c := New(0, Config{}, g, &fixedLatPort{lat: 50}, bpred.New(bpred.Config{}))
+		for cyc := uint64(0); cyc < 30_000; cyc++ {
+			c.Step(cyc)
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("identical setups must produce identical stats")
+	}
+}
+
+func TestCommitsBoundedByWidth(t *testing.T) {
+	c := runCore(t, aluApp(50), nullPort{}, 10_000)
+	s := c.Stats()
+	if s.Instructions > s.Cycles*4 {
+		t.Fatalf("committed %d instructions in %d cycles: exceeds width", s.Instructions, s.Cycles)
+	}
+}
+
+func TestStatsCountsClasses(t *testing.T) {
+	p := workload.AppParams{
+		Name: "mix", MeanDepDist: 8, LoadFrac: 0.2, StoreFrac: 0.1, BranchFrac: 0.1,
+		TakenBias: 0.5, Layers: []workload.Layer{{Frac: 1, Blocks: 256, Random: true}},
+	}
+	c := runCore(t, p, nullPort{}, 50_000)
+	s := c.Stats()
+	if s.Loads == 0 || s.Stores == 0 || s.Branches == 0 {
+		t.Fatalf("class counters empty: %+v", s)
+	}
+	if s.Loads <= s.Stores {
+		t.Fatalf("loads (%d) should outnumber stores (%d) at 2:1 mix", s.Loads, s.Stores)
+	}
+}
+
+func TestWarmFunctionalTouchesPortWithoutCycles(t *testing.T) {
+	p := memApp(0.5, 0)
+	port := &fixedLatPort{lat: 300}
+	g := workload.NewGenerator(p, 0, rng.New(3))
+	c := New(0, Config{}, g, port, bpred.New(bpred.Config{}))
+	c.WarmFunctional(10_000)
+	if port.reads == 0 {
+		t.Fatal("functional warmup should drive loads into the port")
+	}
+	s := c.Stats()
+	if s.Cycles != 0 || s.Instructions != 0 {
+		t.Fatalf("functional warmup must not advance timing stats: %+v", s)
+	}
+	// Continuity: timed execution picks up where warmup left off.
+	for cyc := uint64(0); cyc < 1000; cyc++ {
+		c.Step(cyc)
+	}
+	if c.Stats().Instructions == 0 {
+		t.Fatal("core did not run after functional warmup")
+	}
+}
+
+func TestIPCZeroOnFreshCore(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Fatal("IPC of zero stats must be 0")
+	}
+}

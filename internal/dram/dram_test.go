@@ -1,0 +1,144 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnloadedLatencyMatchesTable1(t *testing.T) {
+	m := New(SharedConfig())
+	crit, done := m.ReadBlock(0)
+	if crit != 260 {
+		t.Fatalf("critical chunk at %d, want 260", crit)
+	}
+	// 64B block = 8 chunks of 8B; 7 inter-chunk gaps of 4 cycles.
+	if done != 260+7*4 {
+		t.Fatalf("block done at %d, want 288", done)
+	}
+}
+
+func TestPrivateConfigFirstChunk(t *testing.T) {
+	m := New(PrivateConfig())
+	crit, _ := m.ReadBlock(0)
+	if crit != 258 {
+		t.Fatalf("private first chunk at %d, want 258", crit)
+	}
+}
+
+func TestScaledConfigs(t *testing.T) {
+	if c, _ := New(ScaledConfig(true)).ReadBlock(0); c != 338 {
+		t.Fatalf("scaled shared = %d, want 338", c)
+	}
+	if c, _ := New(ScaledConfig(false)).ReadBlock(0); c != 330 {
+		t.Fatalf("scaled private = %d, want 330", c)
+	}
+}
+
+func TestBlockLatencyHelper(t *testing.T) {
+	if got := SharedConfig().BlockLatency(); got != 288 {
+		t.Fatalf("BlockLatency = %d, want 288", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	m := New(SharedConfig())
+	// 64 bytes at 2 B/cycle = 32 channel cycles per block.
+	c1, _ := m.ReadBlock(0)
+	c2, _ := m.ReadBlock(0)
+	c3, _ := m.ReadBlock(0)
+	if c1 != 260 || c2 != 260+32 || c3 != 260+64 {
+		t.Fatalf("back-to-back reads at %d,%d,%d; want 260,292,324", c1, c2, c3)
+	}
+	if m.Stats.QueueCycles != 32+64 {
+		t.Fatalf("queue cycles = %d, want 96", m.Stats.QueueCycles)
+	}
+}
+
+func TestIdleChannelNoQueueing(t *testing.T) {
+	m := New(SharedConfig())
+	m.ReadBlock(0)
+	crit, _ := m.ReadBlock(1000) // long after channel drained
+	if crit != 1260 {
+		t.Fatalf("idle-channel read at %d, want 1260", crit)
+	}
+	if m.Stats.QueueCycles != 0 {
+		t.Fatal("no queueing expected")
+	}
+}
+
+func TestWritebackDelaysReads(t *testing.T) {
+	m := New(SharedConfig())
+	m.Writeback(0)
+	crit, _ := m.ReadBlock(0)
+	if crit != 260+32 {
+		t.Fatalf("read behind writeback at %d, want 292", crit)
+	}
+	if m.Stats.Writebacks != 1 || m.Stats.Reads != 1 {
+		t.Fatalf("stats wrong: %+v", m.Stats)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := New(SharedConfig())
+	m.ReadBlock(0)
+	m.ReadBlock(0)
+	if u := m.Utilization(128); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if m.Utilization(0) != 0 {
+		t.Fatal("zero-horizon utilization must be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(SharedConfig())
+	m.ReadBlock(0)
+	m.Reset()
+	if m.NextFree() != 0 || m.Stats.Reads != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// Property: the channel never runs backward and latency is never below the
+// unloaded value.
+func TestPropertyMonotoneChannel(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		m := New(SharedConfig())
+		now := uint64(0)
+		prevStart := uint64(0)
+		for _, d := range deltas {
+			now += uint64(d)
+			crit, done := m.ReadBlock(now)
+			if crit < now+260 || done < crit {
+				return false
+			}
+			start := crit - 260
+			if start < prevStart {
+				return false
+			}
+			prevStart = start
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total busy cycles equal 32 * number of transfers.
+func TestPropertyBusyAccounting(t *testing.T) {
+	f := func(ops []bool) bool {
+		m := New(SharedConfig())
+		for i, isRead := range ops {
+			if isRead {
+				m.ReadBlock(uint64(i))
+			} else {
+				m.Writeback(uint64(i))
+			}
+		}
+		return m.Stats.BusyCycles == uint64(len(ops))*32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

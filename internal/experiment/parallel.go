@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"nucasim/internal/sim"
+	"nucasim/internal/stats"
+	"nucasim/internal/workload"
+)
+
+// ParallelResult carries the future-work study on shared-memory parallel
+// workloads.
+type ParallelResult struct {
+	Table *stats.Table
+	// AdaptiveVsPrivate is the average harmonic-IPC speedup of the
+	// adaptive scheme over private caches across the parallel apps.
+	AdaptiveVsPrivate float64
+	// SharedVsPrivate is the same for the monolithic shared cache.
+	SharedVsPrivate float64
+}
+
+// ParallelWorkloads tests the paper's §3 hypothesis — "the new scheme
+// will be effective also for such [parallel] workloads" — by running each
+// synthetic parallel application with one thread per core. Private caches
+// replicate the shared data per core (each private L3 fetches its own
+// copy); the shared cache and the adaptive scheme keep a single copy that
+// every thread hits, so both should beat private, with the adaptive
+// scheme additionally protecting each thread's private state.
+func ParallelWorkloads(opt Options) ParallelResult {
+	opt = opt.withDefaults()
+	t := stats.NewTable("Parallel workloads (§3 future work): harmonic IPC",
+		"private", "shared", "adaptive", "adaptive/private")
+	var aAcc, sAcc stats.Accumulator
+	for i, p := range workload.ParallelSuite() {
+		mix := make([]workload.AppParams, opt.Cores)
+		for c := range mix {
+			mix[c] = p // one thread per core
+		}
+		seed := opt.Seed + uint64(i)*101
+		rp := sim.Run(opt.simConfig(sim.SchemePrivate, seed), mix)
+		rs := sim.Run(opt.simConfig(sim.SchemeShared, seed), mix)
+		ra := sim.Run(opt.simConfig(sim.SchemeAdaptive, seed), mix)
+		sp := stats.Speedup(ra.HarmonicIPC, rp.HarmonicIPC)
+		t.AddRow(p.Name+" x"+coresSuffix(opt.Cores),
+			rp.HarmonicIPC, rs.HarmonicIPC, ra.HarmonicIPC, sp)
+		aAcc.Add(sp)
+		sAcc.Add(stats.Speedup(rs.HarmonicIPC, rp.HarmonicIPC))
+	}
+	return ParallelResult{
+		Table:             t,
+		AdaptiveVsPrivate: aAcc.Mean(),
+		SharedVsPrivate:   sAcc.Mean(),
+	}
+}
+
+func coresSuffix(cores int) string {
+	switch cores {
+	case 4:
+		return "4"
+	case 8:
+		return "8"
+	default:
+		return "N"
+	}
+}

@@ -1,0 +1,190 @@
+// Package hierarchy assembles the per-core upper memory hierarchy of
+// Table 1 — split L1 instruction/data caches (64 KB, 2-way, 2/3-cycle),
+// split L2 caches (128 KB instruction / 256 KB data, 4-way, 9-cycle), and
+// fully-associative 128-entry TLBs with a 30-cycle miss penalty — and
+// plumbs it into a pluggable last-level-cache organization
+// (llc.Organization: private, shared, cooperative, or the adaptive scheme
+// from internal/core).
+//
+// Each core gets a Port implementing the cpu.Port interface. All levels
+// are write-back/write-allocate; dirty victims flow down one level (an L1
+// victim marks L2, an L2 victim is handed to the LLC organization, which
+// forwards to memory if the block is not resident).
+package hierarchy
+
+import (
+	"fmt"
+
+	"nucasim/internal/cache"
+	"nucasim/internal/llc"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/tlb"
+)
+
+// Config sizes the upper hierarchy. Zero fields select Table 1 defaults;
+// §4.5 technology scaling raises L2Lat to 11.
+type Config struct {
+	Cores int // default 4
+
+	L1Bytes int // default 64 KB (each of I and D)
+	L1Ways  int // default 2
+	L1ILat  int // default 2
+	L1DLat  int // default 3
+
+	L2IBytes int // default 128 KB
+	L2DBytes int // default 256 KB
+	L2Ways   int // default 4
+	L2Lat    int // default 9 (scaled: 11)
+
+	TLB tlb.Config // default Table 1 (128 entries, 30-cycle penalty)
+}
+
+func (c Config) withDefaults() Config {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.Cores, 4)
+	def(&c.L1Bytes, 64<<10)
+	def(&c.L1Ways, 2)
+	def(&c.L1ILat, 2)
+	def(&c.L1DLat, 3)
+	def(&c.L2IBytes, 128<<10)
+	def(&c.L2DBytes, 256<<10)
+	def(&c.L2Ways, 4)
+	def(&c.L2Lat, 9)
+	return c
+}
+
+// Stats aggregates the per-core upper-hierarchy event counts.
+type Stats struct {
+	L1I, L1D cache.Stats
+	L2I, L2D cache.Stats
+	ITLB     tlb.Stats
+	DTLB     tlb.Stats
+}
+
+// Hierarchy owns every core's L1/L2/TLB and the shared LLC organization.
+type Hierarchy struct {
+	cfg   Config
+	org   llc.Organization
+	l1i   []*cache.Cache
+	l1d   []*cache.Cache
+	l2i   []*cache.Cache
+	l2d   []*cache.Cache
+	itlbs []*tlb.TLB
+	dtlbs []*tlb.TLB
+}
+
+// New builds the hierarchy over a last-level organization.
+func New(cfg Config, org llc.Organization) *Hierarchy {
+	cfg = cfg.withDefaults()
+	h := &Hierarchy{cfg: cfg, org: org}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1i = append(h.l1i, cache.New(fmt.Sprintf("L1I-%d", i), memaddr.NewGeometry(cfg.L1Bytes, cfg.L1Ways)))
+		h.l1d = append(h.l1d, cache.New(fmt.Sprintf("L1D-%d", i), memaddr.NewGeometry(cfg.L1Bytes, cfg.L1Ways)))
+		h.l2i = append(h.l2i, cache.New(fmt.Sprintf("L2I-%d", i), memaddr.NewGeometry(cfg.L2IBytes, cfg.L2Ways)))
+		h.l2d = append(h.l2d, cache.New(fmt.Sprintf("L2D-%d", i), memaddr.NewGeometry(cfg.L2DBytes, cfg.L2Ways)))
+		h.itlbs = append(h.itlbs, tlb.New(cfg.TLB))
+		h.dtlbs = append(h.dtlbs, tlb.New(cfg.TLB))
+	}
+	return h
+}
+
+// Organization returns the last-level organization.
+func (h *Hierarchy) Organization() llc.Organization { return h.org }
+
+// Stats returns the upper-hierarchy counters of one core.
+func (h *Hierarchy) Stats(core int) Stats {
+	return Stats{
+		L1I:  h.l1i[core].Stats,
+		L1D:  h.l1d[core].Stats,
+		L2I:  h.l2i[core].Stats,
+		L2D:  h.l2d[core].Stats,
+		ITLB: h.itlbs[core].Stats,
+		DTLB: h.dtlbs[core].Stats,
+	}
+}
+
+// Reset clears every level (including the LLC organization) and all stats.
+func (h *Hierarchy) Reset() {
+	for i := 0; i < h.cfg.Cores; i++ {
+		h.l1i[i].Reset()
+		h.l1d[i].Reset()
+		h.l2i[i].Reset()
+		h.l2d[i].Reset()
+		h.itlbs[i].Reset()
+		h.dtlbs[i].Reset()
+	}
+	h.org.Reset()
+}
+
+// Port returns core's view of the hierarchy (implements cpu.Port).
+func (h *Hierarchy) Port(core int) *Port {
+	return &Port{h: h, core: core}
+}
+
+// Port is one core's access path. Methods return absolute completion
+// cycles; see cpu.Port.
+type Port struct {
+	h    *Hierarchy
+	core int
+}
+
+// access runs the generic L1→L2→LLC path for the data or instruction side.
+func (p *Port) access(l1, l2 *cache.Cache, l1Lat int, addr memaddr.Addr, write bool, now uint64) uint64 {
+	h := p.h
+	if hit, _ := l1.Access(addr, write); hit {
+		return now + uint64(l1Lat)
+	}
+	if hit, _ := l2.Access(addr, false); hit {
+		p.fillL1(l1, l2, addr, write, now)
+		return now + uint64(h.cfg.L2Lat)
+	}
+	// L2 miss: the LLC organization resolves it (hit or memory) with
+	// latencies measured from the L3 access start.
+	ready, _ := h.org.Access(p.core, addr, false, now)
+	p.fillL2(l2, addr, now)
+	p.fillL1(l1, l2, addr, write, now)
+	return ready
+}
+
+// fillL1 installs into L1, sinking a dirty victim into L2.
+func (p *Port) fillL1(l1, l2 *cache.Cache, addr memaddr.Addr, write bool, now uint64) {
+	victim, victimAddr := l1.Install(addr, write, p.core)
+	if victim.Valid && victim.Dirty {
+		if !l2.MarkDirty(victimAddr) {
+			// Victim not in L2 (evicted earlier): push it down to the
+			// LLC organization.
+			p.h.org.WritebackFromL2(p.core, victimAddr, now)
+		}
+	}
+}
+
+// fillL2 installs into L2, sinking a dirty victim into the LLC.
+func (p *Port) fillL2(l2 *cache.Cache, addr memaddr.Addr, now uint64) {
+	victim, victimAddr := l2.Install(addr, false, p.core)
+	if victim.Valid && victim.Dirty {
+		p.h.org.WritebackFromL2(p.core, victimAddr, now)
+	}
+}
+
+// ReadData implements cpu.Port.
+func (p *Port) ReadData(addr memaddr.Addr, now uint64) uint64 {
+	pen := uint64(p.h.dtlbs[p.core].Access(addr))
+	return p.access(p.h.l1d[p.core], p.h.l2d[p.core], p.h.cfg.L1DLat, addr, false, now+pen)
+}
+
+// WriteData implements cpu.Port (write-allocate; the line is dirtied in
+// L1).
+func (p *Port) WriteData(addr memaddr.Addr, now uint64) uint64 {
+	pen := uint64(p.h.dtlbs[p.core].Access(addr))
+	return p.access(p.h.l1d[p.core], p.h.l2d[p.core], p.h.cfg.L1DLat, addr, true, now+pen)
+}
+
+// FetchInstr implements cpu.Port.
+func (p *Port) FetchInstr(pc memaddr.Addr, now uint64) uint64 {
+	pen := uint64(p.h.itlbs[p.core].Access(pc))
+	return p.access(p.h.l1i[p.core], p.h.l2i[p.core], p.h.cfg.L1ILat, pc, false, now+pen)
+}

@@ -1,0 +1,171 @@
+package llc
+
+import (
+	"fmt"
+
+	"nucasim/internal/cache"
+	"nucasim/internal/dram"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/rng"
+)
+
+// Cooperative implements the hybrid NUCA baseline of Section 4.7, the
+// paper's rendering of Chang & Sohi's cooperative caching, which it calls
+// "random replacement":
+//
+//   - Each core has a private cache; on a local miss all neighbors are
+//     checked in parallel (19-cycle hit); the block migrates to the local
+//     cache on a neighbor hit.
+//   - When a core evicts a block that it fetched itself ("belongs" to the
+//     evicting cache) due to its own access, the block is spilled into a
+//     randomly chosen neighbor as MRU.
+//   - A block evicted from a neighbor by a spill is never re-allocated
+//     elsewhere ("to avoid ripple effects"), and a foreign block evicted
+//     normally is not spilled again (it already had its second chance).
+//
+// Sharing is uncontrolled: there is no partitioning and no pollution
+// protection, which is exactly what the adaptive scheme adds.
+type Cooperative struct {
+	caches  []*cache.Cache
+	mem     *dram.Memory
+	lat     Latencies
+	r       *rng.Rand
+	perCore []AccessStats
+}
+
+// NewCooperative builds the Table 1-sized cooperative organization (1 MB
+// 4-way per core) over the given memory. The rng drives neighbor choice.
+func NewCooperative(cores int, mem *dram.Memory, lat Latencies, r *rng.Rand) *Cooperative {
+	return NewCooperativeSized(cores, mem, 1<<20, 4, lat, r)
+}
+
+// NewCooperativeSized builds a cooperative organization with explicit
+// per-core geometry.
+func NewCooperativeSized(cores int, mem *dram.Memory, bytesPerCore, ways int, lat Latencies, r *rng.Rand) *Cooperative {
+	if cores < 2 {
+		panic("llc: cooperative caching needs at least 2 cores")
+	}
+	co := &Cooperative{
+		mem:     mem,
+		lat:     lat,
+		r:       r,
+		caches:  make([]*cache.Cache, cores),
+		perCore: make([]AccessStats, cores),
+	}
+	for i := range co.caches {
+		co.caches[i] = cache.New(fmt.Sprintf("coop-L3-%d", i), memaddr.NewGeometry(bytesPerCore, ways))
+	}
+	return co
+}
+
+// Name implements Organization.
+func (co *Cooperative) Name() string { return "coop" }
+
+// Access implements Organization.
+func (co *Cooperative) Access(core int, addr memaddr.Addr, write bool, now uint64) (uint64, bool) {
+	st := &co.perCore[core]
+	st.Accesses++
+	local := co.caches[core]
+	if hit, _ := local.Access(addr, write); hit {
+		st.LocalHits++
+		st.TotalLatency += uint64(co.lat.LocalHit)
+		return now + uint64(co.lat.LocalHit), true
+	}
+	// Check all neighbors (in parallel in hardware; any order here —
+	// a block exists in at most one cache).
+	for n := range co.caches {
+		if n == core {
+			continue
+		}
+		if blk, ok := co.caches[n].Invalidate(addr); ok {
+			// Migrate to the local cache as MRU.
+			st.RemoteHits++
+			st.TotalLatency += uint64(co.lat.RemoteHit)
+			victim, victimAddr := local.Install(addr, blk.Dirty || write, blk.Owner)
+			co.handleLocalVictim(core, victim, victimAddr, now)
+			return now + uint64(co.lat.RemoteHit), true
+		}
+	}
+	// Full miss: fetch from memory into the local cache.
+	st.Misses++
+	ready, _ := co.mem.ReadBlock(now)
+	victim, victimAddr := local.Install(addr, write, core)
+	co.handleLocalVictim(core, victim, victimAddr, now)
+	st.TotalLatency += ready - now
+	return ready, false
+}
+
+// handleLocalVictim applies the spill rules to a block just evicted from
+// core's local cache by core's own activity.
+func (co *Cooperative) handleLocalVictim(core int, victim cache.Block, victimAddr memaddr.Addr, now uint64) {
+	if !victim.Valid {
+		return
+	}
+	st := &co.perCore[core]
+	if victim.Owner != core {
+		// A foreign (previously spilled) block: it already had its
+		// second chance; drop it (write back if dirty).
+		st.Evictions++
+		if victim.Dirty {
+			st.Writebacks++
+			co.mem.Writeback(now)
+		}
+		return
+	}
+	// Own block evicted by own access: spill to a random neighbor as MRU.
+	n := co.randomNeighbor(core)
+	st.SpillsOut++
+	nVictim, _ := co.caches[n].Install(victimAddr, victim.Dirty, victim.Owner)
+	if nVictim.Valid {
+		// The displaced neighbor block is not re-allocated (no ripple).
+		st.Evictions++
+		if nVictim.Dirty {
+			st.Writebacks++
+			co.mem.Writeback(now)
+		}
+	}
+}
+
+func (co *Cooperative) randomNeighbor(core int) int {
+	n := co.r.Intn(len(co.caches) - 1)
+	if n >= core {
+		n++
+	}
+	return n
+}
+
+// WritebackFromL2 implements Organization.
+func (co *Cooperative) WritebackFromL2(core int, addr memaddr.Addr, now uint64) {
+	for _, c := range co.caches {
+		if c.MarkDirty(addr) {
+			return
+		}
+	}
+	co.mem.Writeback(now)
+	co.perCore[core].Writebacks++
+}
+
+// CoreStats implements Organization.
+func (co *Cooperative) CoreStats(core int) AccessStats { return co.perCore[core] }
+
+// TotalStats implements Organization.
+func (co *Cooperative) TotalStats() AccessStats { return sumStats(co.perCore) }
+
+// Reset implements Organization (the rng stream is left untouched).
+func (co *Cooperative) Reset() {
+	for _, c := range co.caches {
+		c.Reset()
+	}
+	for i := range co.perCore {
+		co.perCore[i] = AccessStats{}
+	}
+}
+
+// Memory returns the underlying memory model (test helper).
+func (co *Cooperative) Memory() *dram.Memory { return co.mem }
+
+// Cache exposes a core's cache for tests.
+func (co *Cooperative) Cache(core int) *cache.Cache { return co.caches[core] }
+
+var _ Organization = (*Cooperative)(nil)
+var _ memoryOf = (*Cooperative)(nil)

@@ -1,0 +1,119 @@
+// Package llc defines the last-level-cache organization interface and the
+// baseline organizations the paper compares against:
+//
+//   - Private: one 1 MB 4-way L3 per core, 14-cycle hits (Table 1).
+//   - Shared: one 4 MB 16-way L3 for all cores, 19-cycle hits.
+//   - PrivateLarge ("4 x size private"): a 4 MB private cache per core —
+//     the capacity upper bound used in Figures 7-9.
+//   - Cooperative: Chang & Sohi's spill-to-random-neighbor scheme, which
+//     the paper calls "random replacement" (Section 4.7).
+//
+// The paper's own adaptive organization lives in internal/core and
+// implements the same Organization interface.
+package llc
+
+import (
+	"nucasim/internal/dram"
+	"nucasim/internal/memaddr"
+)
+
+// Latencies holds the L3 timing parameters from Table 1 (and their §4.5
+// technology-scaled variants).
+type Latencies struct {
+	LocalHit  int // hit in the core's own partition (14; scaled: 16)
+	RemoteHit int // hit in a neighbor partition (19; scaled: 24)
+	SharedHit int // hit in a monolithic shared cache (19; scaled: 24)
+}
+
+// DefaultLatencies returns Table 1 values.
+func DefaultLatencies() Latencies {
+	return Latencies{LocalHit: 14, RemoteHit: 19, SharedHit: 19}
+}
+
+// ScaledLatencies returns the §4.5 future-technology values.
+func ScaledLatencies() Latencies {
+	return Latencies{LocalHit: 16, RemoteHit: 24, SharedHit: 24}
+}
+
+// AccessStats aggregates the externally visible L3 events for one core (or
+// for the whole organization).
+type AccessStats struct {
+	Accesses     uint64
+	LocalHits    uint64 // hits served at local-partition latency
+	RemoteHits   uint64 // hits served from a neighbor partition
+	Misses       uint64 // accesses that went to main memory
+	Evictions    uint64 // blocks evicted from the L3 entirely
+	Writebacks   uint64 // dirty evictions sent to memory
+	SpillsOut    uint64 // cooperative only: blocks spilled to a neighbor
+	TotalLatency uint64 // sum of access latencies (for mean latency)
+}
+
+// Hits returns local + remote hits.
+func (s AccessStats) Hits() uint64 { return s.LocalHits + s.RemoteHits }
+
+// MissRate returns misses/accesses.
+func (s AccessStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MeanLatency returns the average cycles per access.
+func (s AccessStats) MeanLatency() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Accesses)
+}
+
+func (s *AccessStats) add(o AccessStats) {
+	s.Accesses += o.Accesses
+	s.LocalHits += o.LocalHits
+	s.RemoteHits += o.RemoteHits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.SpillsOut += o.SpillsOut
+	s.TotalLatency += o.TotalLatency
+}
+
+// Organization is a last-level cache scheme. Implementations are
+// single-threaded, like the whole simulator.
+type Organization interface {
+	// Name identifies the scheme in tables ("private", "shared", ...).
+	Name() string
+
+	// Access performs a demand access (L2 miss) by core at cycle now.
+	// It returns the cycle at which the critical data is available and
+	// whether the access hit in the L3. Misses go to main memory inside
+	// the call (including channel queueing).
+	Access(core int, addr memaddr.Addr, write bool, now uint64) (ready uint64, hit bool)
+
+	// WritebackFromL2 handles a dirty block evicted by a core's L2: if
+	// the block is L3-resident it is marked dirty, otherwise it is
+	// written to memory. No core-visible latency.
+	WritebackFromL2(core int, addr memaddr.Addr, now uint64)
+
+	// CoreStats returns the per-core statistics.
+	CoreStats(core int) AccessStats
+
+	// TotalStats returns aggregated statistics.
+	TotalStats() AccessStats
+
+	// Reset clears contents and statistics.
+	Reset()
+}
+
+// sumStats aggregates a slice of per-core stats.
+func sumStats(per []AccessStats) AccessStats {
+	var total AccessStats
+	for _, s := range per {
+		total.add(s)
+	}
+	return total
+}
+
+// memoryOf is implemented by all organizations in this package to share
+// test helpers.
+type memoryOf interface{ Memory() *dram.Memory }

@@ -1,0 +1,128 @@
+// Package memaddr defines the address types and bit-field arithmetic shared
+// by every cache and memory component in the simulator.
+//
+// All addresses are byte addresses in a flat 64-bit space. Each simulated
+// core runs a distinct program, so address streams are disambiguated by a
+// per-core address-space tag in the top byte; this models the paper's
+// multiprogrammed setting where cores never share blocks.
+package memaddr
+
+import "fmt"
+
+// Addr is a 64-bit byte address.
+type Addr uint64
+
+// BlockBits is log2 of the cache block size used across the hierarchy.
+// Table 1 of the paper: 64-byte blocks at every level.
+const BlockBits = 6
+
+// BlockSize is the cache block size in bytes.
+const BlockSize = 1 << BlockBits
+
+// PageBits is log2 of the page size used by the TLB model (4 KiB pages).
+const PageBits = 12
+
+// spaceShift positions the address-space tag above any plausible footprint.
+const spaceShift = 56
+
+// Block returns the block-aligned address (low bits cleared).
+func (a Addr) Block() Addr { return a &^ (BlockSize - 1) }
+
+// BlockNumber returns the block index (address >> BlockBits).
+func (a Addr) BlockNumber() uint64 { return uint64(a) >> BlockBits }
+
+// Page returns the page number of the address.
+func (a Addr) Page() uint64 { return uint64(a) >> PageBits }
+
+// Offset returns the byte offset within the block.
+func (a Addr) Offset() uint64 { return uint64(a) & (BlockSize - 1) }
+
+// WithSpace tags the address with an address-space id (0..255). Two equal
+// addresses in different spaces never collide in tags.
+func (a Addr) WithSpace(space int) Addr {
+	return (a & (1<<spaceShift - 1)) | Addr(space)<<spaceShift
+}
+
+// Space extracts the address-space id.
+func (a Addr) Space() int { return int(uint64(a) >> spaceShift) }
+
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// Geometry describes a set-associative cache's index/tag arithmetic.
+type Geometry struct {
+	Sets      int // number of sets; must be a power of two
+	Ways      int // associativity
+	setMask   uint64
+	setShift  uint
+	tagShift  uint
+	validated bool
+}
+
+// NewGeometry builds a Geometry for a cache with the given total size in
+// bytes and associativity, using the global block size. It panics on
+// impossible shapes (non-power-of-two set count, zero ways) because these
+// are programming errors in experiment configuration.
+func NewGeometry(sizeBytes, ways int) Geometry {
+	if ways <= 0 {
+		panic("memaddr: ways must be positive")
+	}
+	if sizeBytes <= 0 || sizeBytes%(ways*BlockSize) != 0 {
+		panic(fmt.Sprintf("memaddr: size %d not divisible by ways*block %d", sizeBytes, ways*BlockSize))
+	}
+	sets := sizeBytes / (ways * BlockSize)
+	return NewGeometrySets(sets, ways)
+}
+
+// NewGeometrySets builds a Geometry directly from a set count and
+// associativity.
+func NewGeometrySets(sets, ways int) Geometry {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("memaddr: set count %d must be a power of two", sets))
+	}
+	if ways <= 0 {
+		panic("memaddr: ways must be positive")
+	}
+	setBits := uint(0)
+	for 1<<setBits < sets {
+		setBits++
+	}
+	return Geometry{
+		Sets:      sets,
+		Ways:      ways,
+		setMask:   uint64(sets - 1),
+		setShift:  BlockBits,
+		tagShift:  BlockBits + setBits,
+		validated: true,
+	}
+}
+
+// SizeBytes returns the total capacity of the described cache.
+func (g Geometry) SizeBytes() int { return g.Sets * g.Ways * BlockSize }
+
+// Set returns the set index for an address.
+func (g Geometry) Set(a Addr) int {
+	return int((uint64(a) >> g.setShift) & g.setMask)
+}
+
+// Tag returns the tag for an address (includes the address-space bits, so
+// different cores' identical virtual addresses never alias).
+func (g Geometry) Tag(a Addr) uint64 { return uint64(a) >> g.tagShift }
+
+// TagBits reports how many bits a stored tag requires for a physical
+// address width of addrBits. Used by the storage-cost model (§2.7).
+func (g Geometry) TagBits(addrBits int) int {
+	bits := addrBits - int(g.tagShift)
+	if bits < 0 {
+		return 0
+	}
+	return bits
+}
+
+// AddrFor reconstructs a canonical block address from (tag, set). Inverse
+// of (Tag, Set) up to the block offset.
+func (g Geometry) AddrFor(tag uint64, set int) Addr {
+	return Addr(tag<<g.tagShift | uint64(set)<<g.setShift)
+}
+
+// Valid reports whether the geometry was built by a constructor.
+func (g Geometry) Valid() bool { return g.validated }

@@ -1,0 +1,156 @@
+package memaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAlignment(t *testing.T) {
+	a := Addr(0x12345)
+	if a.Block()%BlockSize != 0 {
+		t.Fatalf("Block() not aligned: %v", a.Block())
+	}
+	if a.Block() > a {
+		t.Fatal("Block() must round down")
+	}
+	if a-a.Block() >= BlockSize {
+		t.Fatal("Block() rounds down too far")
+	}
+}
+
+func TestOffsetAndBlockNumber(t *testing.T) {
+	a := Addr(0x1234F)
+	if a.Offset() != 0x0F {
+		t.Fatalf("Offset = %#x, want 0x0f", a.Offset())
+	}
+	if a.BlockNumber() != 0x12340>>BlockBits {
+		t.Fatalf("BlockNumber = %#x", a.BlockNumber())
+	}
+}
+
+func TestPage(t *testing.T) {
+	if Addr(0x3FFF).Page() != 3 {
+		t.Fatalf("Page(0x3FFF) = %d, want 3", Addr(0x3FFF).Page())
+	}
+	if Addr(0xFFF).Page() != 0 {
+		t.Fatal("Page(0xFFF) should be 0")
+	}
+}
+
+func TestWithSpaceSeparation(t *testing.T) {
+	a := Addr(0x1000)
+	s0 := a.WithSpace(0)
+	s1 := a.WithSpace(1)
+	if s0 == s1 {
+		t.Fatal("different spaces must give different addresses")
+	}
+	if s1.Space() != 1 || s0.Space() != 0 {
+		t.Fatalf("Space roundtrip failed: %d %d", s0.Space(), s1.Space())
+	}
+	g := NewGeometry(1<<20, 4)
+	if g.Tag(s0) == g.Tag(s1) {
+		t.Fatal("tags must differ across spaces")
+	}
+	if g.Set(s0) != g.Set(s1) {
+		t.Fatal("set index must not depend on space tag for small addresses")
+	}
+}
+
+func TestWithSpaceIdempotentOnRetag(t *testing.T) {
+	a := Addr(0xABCDE).WithSpace(3).WithSpace(5)
+	if a.Space() != 5 {
+		t.Fatalf("retagging space failed: %d", a.Space())
+	}
+}
+
+func TestGeometrySizes(t *testing.T) {
+	cases := []struct {
+		size, ways, wantSets int
+	}{
+		{64 * 1024, 2, 512},         // L1 64K 2-way
+		{256 * 1024, 4, 1024},       // L2D 256K 4-way
+		{1024 * 1024, 4, 4096},      // private L3 1M 4-way
+		{4 * 1024 * 1024, 16, 4096}, // shared L3 4M 16-way
+	}
+	for _, c := range cases {
+		g := NewGeometry(c.size, c.ways)
+		if g.Sets != c.wantSets {
+			t.Errorf("size %d ways %d: sets = %d, want %d", c.size, c.ways, g.Sets, c.wantSets)
+		}
+		if g.SizeBytes() != c.size {
+			t.Errorf("SizeBytes roundtrip: got %d want %d", g.SizeBytes(), c.size)
+		}
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero ways":     func() { NewGeometry(1024, 0) },
+		"bad divide":    func() { NewGeometry(1000, 2) },
+		"non-pow2 sets": func() { NewGeometrySets(3, 2) },
+		"zero sets":     func() { NewGeometrySets(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTagSetRoundtrip(t *testing.T) {
+	g := NewGeometrySets(1024, 4)
+	f := func(raw uint64) bool {
+		a := Addr(raw).Block()
+		return g.AddrFor(g.Tag(a), g.Set(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetInRange(t *testing.T) {
+	g := NewGeometrySets(256, 8)
+	f := func(raw uint64) bool {
+		s := g.Set(Addr(raw))
+		return s >= 0 && s < g.Sets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctBlocksSameSetDifferentTags(t *testing.T) {
+	g := NewGeometrySets(64, 4)
+	a := Addr(0x0).WithSpace(1)
+	b := a + Addr(64*g.Sets) // next block mapping to same set
+	if g.Set(a) != g.Set(b) {
+		t.Fatal("expected same set")
+	}
+	if g.Tag(a) == g.Tag(b) {
+		t.Fatal("expected different tags")
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	g := NewGeometrySets(4096, 4) // 12 set bits + 6 block bits = 18
+	if got := g.TagBits(40); got != 22 {
+		t.Fatalf("TagBits(40) = %d, want 22", got)
+	}
+	if got := g.TagBits(10); got != 0 {
+		t.Fatalf("TagBits(10) = %d, want 0 (clamped)", got)
+	}
+}
+
+func TestGeometryValid(t *testing.T) {
+	var zero Geometry
+	if zero.Valid() {
+		t.Fatal("zero Geometry must be invalid")
+	}
+	if !NewGeometrySets(2, 1).Valid() {
+		t.Fatal("constructed Geometry must be valid")
+	}
+}

@@ -1,0 +1,295 @@
+// Package sim is the top-level chip-multiprocessor simulator: it
+// instantiates four out-of-order cores (internal/cpu), their upper
+// hierarchies (internal/hierarchy), one of the last-level cache
+// organizations the paper compares (private, shared, 4× private,
+// cooperative "random replacement", or the adaptive scheme), and the
+// shared memory channel, then runs them in cycle lockstep.
+//
+// A run consists of a warmup phase (caches and predictors fill; the paper
+// fast-forwards 0.5-1.5 G instructions) followed by a measurement window
+// (the paper simulates 200 M cycles; the default here is smaller so whole
+// figure sweeps finish in minutes — pass the paper's numbers through
+// Config for full-length runs).
+package sim
+
+import (
+	"fmt"
+
+	"nucasim/internal/bpred"
+	"nucasim/internal/core"
+	"nucasim/internal/cpu"
+	"nucasim/internal/dram"
+	"nucasim/internal/hierarchy"
+	"nucasim/internal/llc"
+	"nucasim/internal/rng"
+	"nucasim/internal/stats"
+	"nucasim/internal/workload"
+)
+
+// Scheme selects a last-level cache organization.
+type Scheme string
+
+// The organizations of the paper's evaluation (§3, §4.7).
+const (
+	SchemePrivate   Scheme = "private"
+	SchemeShared    Scheme = "shared"
+	SchemePrivate4x Scheme = "private4x"
+	SchemeCoop      Scheme = "coop"
+	SchemeAdaptive  Scheme = "adaptive"
+)
+
+// Schemes lists every organization, in the order tables present them.
+func Schemes() []Scheme {
+	return []Scheme{SchemePrivate, SchemeShared, SchemePrivate4x, SchemeCoop, SchemeAdaptive}
+}
+
+// Config parameterizes one simulation run. Zero fields select the Table 1
+// baseline with a laptop-scale window.
+type Config struct {
+	Cores  int    // default 4
+	Scheme Scheme // default SchemePrivate
+	Seed   uint64 // workload/fast-forward seed; runs are deterministic in it
+
+	// WarmupInstructions is the functional fast-forward per core: caches
+	// fill and predictors train without timing, modelling the paper's
+	// 0.5-1.5 G-instruction skip (default 1_000_000).
+	WarmupInstructions uint64
+	WarmupCycles       uint64 // timed warmup after the fast-forward, default 100_000
+	MeasureCycles      uint64 // default 1_000_000
+
+	// L3BytesPerCore sizes the private partitions (default 1 MB); the
+	// shared organization gets Cores× this. Figure 9 doubles it.
+	L3BytesPerCore int
+
+	// Scaled applies the §4.5 future-technology latencies (L2 9→11,
+	// L3 14/19→16/24, memory 258/260→330/338).
+	Scaled bool
+
+	// ShadowSampleShift passes through to the adaptive scheme (§4.6).
+	ShadowSampleShift uint
+	// RepartitionPeriod passes through to the adaptive scheme (§2.1).
+	RepartitionPeriod int
+	// DisableProtection / DisableAdaptation are the adaptive scheme's
+	// ablation knobs (see core.Config).
+	DisableProtection bool
+	DisableAdaptation bool
+
+	CPU cpu.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Scheme == "" {
+		c.Scheme = SchemePrivate
+	}
+	if c.WarmupInstructions == 0 {
+		c.WarmupInstructions = 1_000_000
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 100_000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 1_000_000
+	}
+	if c.L3BytesPerCore == 0 {
+		c.L3BytesPerCore = 1 << 20
+	}
+	return c
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Scheme Scheme
+	Mix    []string // app name per core
+
+	PerCoreIPC  []float64
+	HarmonicIPC float64
+	MeanIPC     float64
+
+	// LLCAccessesPerKCycle is the Figure 5 intensity metric per core:
+	// last-level accesses (= L2 data misses) per thousand cycles.
+	LLCAccessesPerKCycle []float64
+	// LLCMissesPerKCycle is the corresponding miss rate per core.
+	LLCMissesPerKCycle []float64
+
+	CoreStats []cpu.Stats
+	LLCTotal  llc.AccessStats
+	Memory    dram.Stats
+
+	// PartitionLimits is the adaptive scheme's final Figure 4(d) state.
+	PartitionLimits []int
+	// Repartitions counts applied limit transfers (adaptive only).
+	Repartitions uint64
+}
+
+// Machine is an assembled CMP ready to run; exported so examples can
+// inspect components mid-run.
+type Machine struct {
+	Cfg       Config
+	Cores     []*cpu.Core
+	Hierarchy *hierarchy.Hierarchy
+	Memory    *dram.Memory
+	Org       llc.Organization
+	Adaptive  *core.Adaptive // nil unless Scheme == SchemeAdaptive
+
+	now uint64
+}
+
+// NewMachine assembles a CMP running the given application mix (one entry
+// per core; len(mix) must equal Cores).
+func NewMachine(cfg Config, mix []workload.AppParams) *Machine {
+	cfg = cfg.withDefaults()
+	if len(mix) != cfg.Cores {
+		panic(fmt.Sprintf("sim: mix has %d apps for %d cores", len(mix), cfg.Cores))
+	}
+	lat := llc.DefaultLatencies()
+	if cfg.Scaled {
+		lat = llc.ScaledLatencies()
+	}
+
+	var mem *dram.Memory
+	var org llc.Organization
+	var adaptive *core.Adaptive
+	r := rng.New(cfg.Seed)
+
+	switch cfg.Scheme {
+	case SchemePrivate:
+		mem = dram.New(memCfg(cfg, false))
+		org = llc.NewPrivateSized(cfg.Cores, mem, cfg.L3BytesPerCore, 4, lat.LocalHit, "private")
+	case SchemePrivate4x:
+		mem = dram.New(memCfg(cfg, false))
+		org = llc.NewPrivateSized(cfg.Cores, mem, cfg.Cores*cfg.L3BytesPerCore, 16, lat.SharedHit, "private4x")
+	case SchemeShared:
+		mem = dram.New(memCfg(cfg, true))
+		org = llc.NewSharedSized(cfg.Cores, mem, cfg.Cores*cfg.L3BytesPerCore, 16, lat.SharedHit)
+	case SchemeCoop:
+		mem = dram.New(memCfg(cfg, false))
+		org = llc.NewCooperativeSized(cfg.Cores, mem, cfg.L3BytesPerCore, 4, lat, r.Fork(0xC0))
+	case SchemeAdaptive:
+		mem = dram.New(memCfg(cfg, false))
+		adaptive = core.NewAdaptive(core.Config{
+			Cores:             cfg.Cores,
+			BytesPerCore:      cfg.L3BytesPerCore,
+			LocalWays:         4,
+			RepartitionPeriod: cfg.RepartitionPeriod,
+			ShadowSampleShift: cfg.ShadowSampleShift,
+			Latencies:         lat,
+			DisableProtection: cfg.DisableProtection,
+			DisableAdaptation: cfg.DisableAdaptation,
+		}, mem)
+		org = adaptive
+	default:
+		panic("sim: unknown scheme " + string(cfg.Scheme))
+	}
+
+	hcfg := hierarchy.Config{Cores: cfg.Cores}
+	if cfg.Scaled {
+		hcfg.L2Lat = 11
+	}
+	h := hierarchy.New(hcfg, org)
+
+	m := &Machine{Cfg: cfg, Hierarchy: h, Memory: mem, Org: org, Adaptive: adaptive}
+	for i := 0; i < cfg.Cores; i++ {
+		gen := workload.NewGenerator(mix[i], i, r.Fork(uint64(i)+1))
+		m.Cores = append(m.Cores, cpu.New(i, cfg.CPU, gen, h.Port(i), bpred.New(bpred.Config{})))
+	}
+	return m
+}
+
+func memCfg(cfg Config, shared bool) dram.Config {
+	if cfg.Scaled {
+		return dram.ScaledConfig(shared)
+	}
+	if shared {
+		return dram.SharedConfig()
+	}
+	return dram.PrivateConfig()
+}
+
+// Now returns the current simulation cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Run advances all cores in lockstep for the given number of cycles.
+func (m *Machine) Run(cycles uint64) {
+	end := m.now + cycles
+	for ; m.now < end; m.now++ {
+		for _, c := range m.Cores {
+			c.Step(m.now)
+		}
+	}
+}
+
+// snapshot captures the counters that the measurement window must be
+// relative to.
+type snapshot struct {
+	instr  []uint64
+	access []uint64
+	miss   []uint64
+}
+
+func (m *Machine) snap() snapshot {
+	s := snapshot{}
+	for i, c := range m.Cores {
+		s.instr = append(s.instr, c.Stats().Instructions)
+		st := m.Org.CoreStats(i)
+		s.access = append(s.access, st.Accesses)
+		s.miss = append(s.miss, st.Misses)
+	}
+	return s
+}
+
+// WarmFunctional fast-forwards all cores by n instructions each,
+// interleaved in small chunks so shared structures (the LLC organization,
+// its partitioning controller) see the mixed stream, then clears the
+// memory channel's timing state.
+func (m *Machine) WarmFunctional(n uint64) {
+	const chunk = 2000
+	for done := uint64(0); done < n; done += chunk {
+		step := chunk
+		if n-done < chunk {
+			step = int(n - done)
+		}
+		for _, c := range m.Cores {
+			c.WarmFunctional(uint64(step))
+		}
+	}
+	m.Memory.Reset()
+}
+
+// Run executes a full warmup+measurement simulation of the mix and
+// returns the Result. It is the package's main entry point.
+func Run(cfg Config, mix []workload.AppParams) Result {
+	cfg = cfg.withDefaults()
+	m := NewMachine(cfg, mix)
+	m.WarmFunctional(cfg.WarmupInstructions)
+	m.Run(cfg.WarmupCycles)
+	before := m.snap()
+	m.Run(cfg.MeasureCycles)
+	after := m.snap()
+
+	res := Result{Scheme: cfg.Scheme}
+	for _, p := range mix {
+		res.Mix = append(res.Mix, p.Name)
+	}
+	kCycles := float64(cfg.MeasureCycles) / 1000
+	for i := range m.Cores {
+		ipc := float64(after.instr[i]-before.instr[i]) / float64(cfg.MeasureCycles)
+		res.PerCoreIPC = append(res.PerCoreIPC, ipc)
+		res.LLCAccessesPerKCycle = append(res.LLCAccessesPerKCycle,
+			float64(after.access[i]-before.access[i])/kCycles)
+		res.LLCMissesPerKCycle = append(res.LLCMissesPerKCycle,
+			float64(after.miss[i]-before.miss[i])/kCycles)
+		res.CoreStats = append(res.CoreStats, m.Cores[i].Stats())
+	}
+	res.HarmonicIPC = stats.HarmonicMean(res.PerCoreIPC)
+	res.MeanIPC = stats.Mean(res.PerCoreIPC)
+	res.LLCTotal = m.Org.TotalStats()
+	res.Memory = m.Memory.Stats
+	if m.Adaptive != nil {
+		res.PartitionLimits = m.Adaptive.MaxBlocks()
+		res.Repartitions = m.Adaptive.Repartitions
+	}
+	return res
+}

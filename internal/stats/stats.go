@@ -1,0 +1,206 @@
+// Package stats provides the aggregate metrics the paper reports —
+// arithmetic and harmonic means of per-core IPC, speedups relative to a
+// baseline scheme — plus simple text tables for the experiment harness.
+//
+// The paper optimizes and reports the harmonic mean of per-core IPC
+// (Section 2.6, citing Smith): systems are bound by their slowest
+// application, so the harmonic mean is the headline number everywhere.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs. Any non-positive element
+// makes the harmonic mean 0 (an idle core dominates, which is exactly the
+// behaviour the metric is chosen for).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// GeometricMean returns the geometric mean of xs; non-positive elements
+// yield 0.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Speedup returns value/baseline, or 0 if the baseline is non-positive.
+func Speedup(value, baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return value / baseline
+}
+
+// PercentGain returns (value/baseline - 1) * 100, or 0 for a bad baseline.
+func PercentGain(value, baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return (value/baseline - 1) * 100
+}
+
+// Accumulator collects samples and answers summary queries. The zero value
+// is ready to use.
+type Accumulator struct {
+	xs []float64
+}
+
+// Add appends a sample.
+func (a *Accumulator) Add(x float64) { a.xs = append(a.xs, x) }
+
+// N returns the number of samples.
+func (a *Accumulator) N() int { return len(a.xs) }
+
+// Mean returns the arithmetic mean of the samples.
+func (a *Accumulator) Mean() float64 { return Mean(a.xs) }
+
+// HarmonicMean returns the harmonic mean of the samples.
+func (a *Accumulator) HarmonicMean() float64 { return HarmonicMean(a.xs) }
+
+// Min returns the smallest sample, or 0 if empty.
+func (a *Accumulator) Min() float64 {
+	if len(a.xs) == 0 {
+		return 0
+	}
+	m := a.xs[0]
+	for _, x := range a.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (a *Accumulator) Max() float64 {
+	if len(a.xs) == 0 {
+		return 0
+	}
+	m := a.xs[0]
+	for _, x := range a.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Values returns a copy of the collected samples.
+func (a *Accumulator) Values() []float64 {
+	out := make([]float64, len(a.xs))
+	copy(out, a.xs)
+	return out
+}
+
+// Table renders labelled rows of float columns as fixed-width text, the
+// output format of every cmd/experiments figure.
+type Table struct {
+	Title    string
+	ColNames []string
+	rows     []tableRow
+}
+
+type tableRow struct {
+	label string
+	vals  []float64
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, colNames ...string) *Table {
+	return &Table{Title: title, ColNames: colNames}
+}
+
+// AddRow appends a row; the number of values should match ColNames.
+func (t *Table) AddRow(label string, vals ...float64) {
+	t.rows = append(t.rows, tableRow{label: label, vals: vals})
+}
+
+// SortByColumn orders rows ascending by the given value column.
+func (t *Table) SortByColumn(col int) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return t.rows[i].vals[col] < t.rows[j].vals[col]
+	})
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the label and values of row i.
+func (t *Table) Row(i int) (string, []float64) {
+	r := t.rows[i]
+	vals := make([]float64, len(r.vals))
+	copy(vals, r.vals)
+	return r.label, vals
+}
+
+// ColumnMean returns the arithmetic mean of one column across all rows.
+func (t *Table) ColumnMean(col int) float64 {
+	var acc Accumulator
+	for _, r := range t.rows {
+		if col < len(r.vals) {
+			acc.Add(r.vals[col])
+		}
+	}
+	return acc.Mean()
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	labelW := len("benchmark")
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-*s", labelW+2, "")
+	for _, c := range t.ColNames {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.label)
+		for _, v := range r.vals {
+			fmt.Fprintf(&b, "%14.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

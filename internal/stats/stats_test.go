@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean([1,2,3]) != 2")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestHarmonicMeanKnown(t *testing.T) {
+	// HM(1, 2) = 2/(1 + 0.5) = 4/3
+	if !almost(HarmonicMean([]float64{1, 2}), 4.0/3) {
+		t.Fatal("HM(1,2) != 4/3")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Fatal("HM with zero element must be 0")
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Fatal("HM(nil) != 0")
+	}
+}
+
+func TestHarmonicLEArithmetic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+		}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if !almost(GeometricMean([]float64{2, 8}), 4) {
+		t.Fatal("GM(2,8) != 4")
+	}
+	if GeometricMean([]float64{2, -1}) != 0 {
+		t.Fatal("GM with negative must be 0")
+	}
+}
+
+func TestMeansEqualForConstant(t *testing.T) {
+	xs := []float64{3.5, 3.5, 3.5}
+	if !almost(Mean(xs), 3.5) || !almost(HarmonicMean(xs), 3.5) || !almost(GeometricMean(xs), 3.5) {
+		t.Fatal("all means of a constant series must equal the constant")
+	}
+}
+
+func TestSpeedupAndPercent(t *testing.T) {
+	if !almost(Speedup(1.21, 1.0), 1.21) {
+		t.Fatal("Speedup wrong")
+	}
+	if Speedup(1, 0) != 0 {
+		t.Fatal("Speedup with zero baseline must be 0")
+	}
+	if !almost(PercentGain(1.21, 1.0), 21) {
+		t.Fatal("PercentGain wrong")
+	}
+	if PercentGain(1, -1) != 0 {
+		t.Fatal("PercentGain with bad baseline must be 0")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("zero Accumulator must report zeros")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		a.Add(v)
+	}
+	if a.N() != 3 || !almost(a.Mean(), 2) || a.Min() != 1 || a.Max() != 3 {
+		t.Fatalf("Accumulator wrong: n=%d mean=%v min=%v max=%v", a.N(), a.Mean(), a.Min(), a.Max())
+	}
+	vals := a.Values()
+	vals[0] = 99
+	if a.Min() == 99 {
+		t.Fatal("Values must return a copy")
+	}
+}
+
+func TestTableSortAndRender(t *testing.T) {
+	tb := NewTable("demo", "speedup")
+	tb.AddRow("b", 2)
+	tb.AddRow("a", 1)
+	tb.AddRow("c", 3)
+	tb.SortByColumn(0)
+	label, vals := tb.Row(0)
+	if label != "a" || vals[0] != 1 {
+		t.Fatalf("sort failed: first row %s %v", label, vals)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "speedup") {
+		t.Fatalf("render missing title/header:\n%s", out)
+	}
+	ai := strings.Index(out, "a")
+	ci := strings.Index(out, "c")
+	if ai > ci {
+		t.Fatal("rows not rendered in sorted order")
+	}
+}
+
+func TestTableColumnMean(t *testing.T) {
+	tb := NewTable("m", "x", "y")
+	tb.AddRow("r1", 1, 10)
+	tb.AddRow("r2", 3, 20)
+	if !almost(tb.ColumnMean(0), 2) || !almost(tb.ColumnMean(1), 15) {
+		t.Fatal("ColumnMean wrong")
+	}
+}
+
+func TestTableRowCopies(t *testing.T) {
+	tb := NewTable("m", "x")
+	tb.AddRow("r", 5)
+	_, vals := tb.Row(0)
+	vals[0] = 42
+	_, again := tb.Row(0)
+	if again[0] != 5 {
+		t.Fatal("Row must return copies")
+	}
+}

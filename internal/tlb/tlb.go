@@ -1,0 +1,84 @@
+// Package tlb models the baseline's translation lookaside buffers:
+// 128-entry, fully associative, LRU, with a 30-cycle miss penalty
+// (Table 1). Each core has an I-TLB and a D-TLB.
+//
+// The simulator runs each program in its own flat address space, so the
+// TLB only contributes timing (the miss penalty); no translation is
+// performed.
+package tlb
+
+import "nucasim/internal/memaddr"
+
+// Config sizes a TLB. Zero fields select Table 1 defaults.
+type Config struct {
+	Entries     int // default 128
+	MissPenalty int // default 30 cycles
+}
+
+func (c Config) withDefaults() Config {
+	if c.Entries == 0 {
+		c.Entries = 128
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = 30
+	}
+	return c
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// TLB is a fully-associative, true-LRU translation buffer.
+type TLB struct {
+	cfg   Config
+	pages []uint64 // MRU→LRU order
+	Stats Stats
+}
+
+// New builds a TLB; zero Config fields take Table 1 defaults.
+func New(cfg Config) *TLB {
+	cfg = cfg.withDefaults()
+	return &TLB{cfg: cfg, pages: make([]uint64, 0, cfg.Entries)}
+}
+
+// Access looks up the page of addr, updating LRU order and filling on a
+// miss. It returns the cycles the translation adds to the access: 0 on a
+// hit, the miss penalty on a miss.
+func (t *TLB) Access(addr memaddr.Addr) (penalty int) {
+	t.Stats.Accesses++
+	page := addr.Page()
+	for i, p := range t.pages {
+		if p == page {
+			copy(t.pages[1:i+1], t.pages[:i])
+			t.pages[0] = page
+			return 0
+		}
+	}
+	t.Stats.Misses++
+	if len(t.pages) < t.cfg.Entries {
+		t.pages = append(t.pages, 0)
+	}
+	copy(t.pages[1:], t.pages[:len(t.pages)-1])
+	t.pages[0] = page
+	return t.cfg.MissPenalty
+}
+
+// Reset clears entries and statistics.
+func (t *TLB) Reset() {
+	t.pages = t.pages[:0]
+	t.Stats = Stats{}
+}
+
+// Len reports the number of resident translations (for tests).
+func (t *TLB) Len() int { return len(t.pages) }

@@ -1,0 +1,94 @@
+package tlb
+
+import (
+	"testing"
+
+	"nucasim/internal/memaddr"
+)
+
+func pageAddr(page uint64) memaddr.Addr {
+	return memaddr.Addr(page << memaddr.PageBits)
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	tb := New(Config{})
+	if p := tb.Access(pageAddr(5)); p != 30 {
+		t.Fatalf("cold access penalty = %d, want 30", p)
+	}
+	if p := tb.Access(pageAddr(5)); p != 0 {
+		t.Fatalf("warm access penalty = %d, want 0", p)
+	}
+	if p := tb.Access(pageAddr(5) + 0x400); p != 0 {
+		t.Fatal("same page, different offset must hit")
+	}
+	if tb.Stats.Accesses != 3 || tb.Stats.Misses != 1 {
+		t.Fatalf("stats wrong: %+v", tb.Stats)
+	}
+}
+
+func TestCustomPenalty(t *testing.T) {
+	tb := New(Config{Entries: 4, MissPenalty: 99})
+	if p := tb.Access(pageAddr(1)); p != 99 {
+		t.Fatalf("penalty = %d, want 99", p)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := New(Config{Entries: 2})
+	tb.Access(pageAddr(1))
+	tb.Access(pageAddr(2))
+	tb.Access(pageAddr(1)) // 1 is MRU, 2 LRU
+	tb.Access(pageAddr(3)) // evicts 2
+	if p := tb.Access(pageAddr(1)); p != 0 {
+		t.Fatal("page 1 should have survived")
+	}
+	if p := tb.Access(pageAddr(2)); p == 0 {
+		t.Fatal("page 2 should have been evicted")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	tb := New(Config{Entries: 8})
+	for i := uint64(0); i < 100; i++ {
+		tb.Access(pageAddr(i))
+	}
+	if tb.Len() != 8 {
+		t.Fatalf("resident entries = %d, want 8", tb.Len())
+	}
+}
+
+func TestWorkingSetWithinCapacityAllHits(t *testing.T) {
+	tb := New(Config{Entries: 128})
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 128; i++ {
+			tb.Access(pageAddr(i))
+		}
+	}
+	// 128 cold misses, then all hits.
+	if tb.Stats.Misses != 128 {
+		t.Fatalf("misses = %d, want 128 cold only", tb.Stats.Misses)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := New(Config{})
+	tb.Access(pageAddr(1))
+	tb.Reset()
+	if tb.Len() != 0 || tb.Stats.Accesses != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if p := tb.Access(pageAddr(1)); p == 0 {
+		t.Fatal("after Reset the access must miss")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty MissRate must be 0")
+	}
+	s = Stats{Accesses: 10, Misses: 1}
+	if s.MissRate() != 0.1 {
+		t.Fatal("MissRate wrong")
+	}
+}

@@ -1,0 +1,194 @@
+// Package trace records and replays memory-reference traces in a compact
+// binary format. Traces decouple workload generation from simulation: a
+// reference stream captured once (from the synthetic generators, or
+// converted from an external pin/valgrind-style source) can be replayed
+// into any cache configuration, which is how Figure 3-style
+// characterization is usually done on real traces.
+//
+// Format (little-endian):
+//
+//	header:  8-byte magic "NUCATRC1"
+//	record:  1 flags byte
+//	           bit 0: write
+//	           bit 1: has PC delta
+//	         zig-zag uvarint: block-address delta from previous record
+//	         [zig-zag uvarint: PC delta, if bit 1]
+//
+// Delta encoding keeps sequential and looping streams to 2-3 bytes per
+// reference.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"nucasim/internal/memaddr"
+	"nucasim/internal/workload"
+)
+
+// Magic identifies a trace stream and its format version.
+const Magic = "NUCATRC1"
+
+// Record is one memory reference.
+type Record struct {
+	Addr  memaddr.Addr
+	PC    memaddr.Addr
+	Write bool
+}
+
+// ErrBadMagic reports a stream that is not a nucasim trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a nucasim trace)")
+
+// Writer streams records to an underlying writer. Close (or Flush) must
+// be called to drain the buffer.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	prevPC   uint64
+	count    uint64
+	scratch  [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter starts a trace on w by emitting the header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+func unzig(u uint64) int64  { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one record.
+func (w *Writer) Write(rec Record) error {
+	flags := byte(0)
+	if rec.Write {
+		flags |= 1
+	}
+	pcDelta := int64(uint64(rec.PC) - w.prevPC)
+	if pcDelta != 0 {
+		flags |= 2
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	n := binary.PutUvarint(w.scratch[:], zigzag(int64(uint64(rec.Addr)-w.prevAddr)))
+	if flags&2 != 0 {
+		n += binary.PutUvarint(w.scratch[n:], zigzag(pcDelta))
+	}
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	w.prevAddr = uint64(rec.Addr)
+	w.prevPC = uint64(rec.PC)
+	w.count++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams records from a trace.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	prevPC   uint64
+	count    uint64
+}
+
+// NewReader validates the header and prepares to stream records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != Magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF cleanly at end of stream.
+func (r *Reader) Next() (Record, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading flags: %w", err)
+	}
+	du, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", errOrUnexpected(err))
+	}
+	r.prevAddr += uint64(unzig(du))
+	if flags&2 != 0 {
+		pu, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", errOrUnexpected(err))
+		}
+		r.prevPC += uint64(unzig(pu))
+	}
+	r.count++
+	return Record{
+		Addr:  memaddr.Addr(r.prevAddr),
+		PC:    memaddr.Addr(r.prevPC),
+		Write: flags&1 != 0,
+	}, nil
+}
+
+func errOrUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Count reports how many records have been read.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Capture runs a workload generator for n instructions and writes its
+// memory references (loads and stores) to w. It returns the number of
+// references captured.
+func Capture(g *workload.Generator, n uint64, w *Writer) (uint64, error) {
+	var ins workload.Instr
+	var refs uint64
+	for i := uint64(0); i < n; i++ {
+		g.Next(&ins)
+		if ins.Class != workload.Load && ins.Class != workload.Store {
+			continue
+		}
+		err := w.Write(Record{Addr: ins.Addr, PC: ins.PC, Write: ins.Class == workload.Store})
+		if err != nil {
+			return refs, err
+		}
+		refs++
+	}
+	return refs, w.Flush()
+}
+
+// Replay reads every record and hands it to apply, returning the number
+// of records replayed.
+func Replay(r *Reader, apply func(Record)) (uint64, error) {
+	var n uint64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		apply(rec)
+		n++
+	}
+}

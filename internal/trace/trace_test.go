@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"nucasim/internal/cache"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/rng"
+	"nucasim/internal/workload"
+)
+
+func TestRoundtripHandful(t *testing.T) {
+	recs := []Record{
+		{Addr: 0x1000, PC: 0x400, Write: false},
+		{Addr: 0x1040, PC: 0x404, Write: true},
+		{Addr: 0x1000, PC: 0x404, Write: false}, // backward delta, same PC
+		{Addr: 0xFFFF_0000, PC: 0x0, Write: true},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("writer count %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestPropertyRoundtrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		rand := rng.New(seed)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = Record{
+				Addr:  memaddr.Addr(rand.Uint64() >> 4),
+				PC:    memaddr.Addr(rand.Uint64n(1 << 30)),
+				Write: rand.Bool(0.3),
+			}
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, rec := range recs {
+			if w.Write(rec) != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, err := r.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOTATRACE")); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NUC")); err == nil {
+		t.Fatal("truncated header must error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Addr: 0x123456789, Write: true})
+	w.Flush()
+	// Chop the last byte of the record.
+	data := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record should be a hard error, got %v", err)
+	}
+}
+
+func TestCompactnessOnSequentialStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Write(Record{Addr: memaddr.Addr(i * 64), PC: memaddr.Addr(0x400)})
+	}
+	w.Flush()
+	perRec := float64(buf.Len()-len(Magic)) / 1000
+	if perRec > 4 {
+		t.Fatalf("sequential stream costs %.1f bytes/record, want <= 4", perRec)
+	}
+}
+
+func TestCaptureAndReplayEquivalence(t *testing.T) {
+	// A trace captured from a generator must replay into a cache with
+	// exactly the statistics of driving the cache directly.
+	p, _ := workload.ByName("gzip")
+	direct := cache.New("direct", memaddr.NewGeometrySets(256, 4))
+	g1 := workload.NewGenerator(p, 0, rng.New(11))
+	var ins workload.Instr
+	const n = 50_000
+	refs := uint64(0)
+	for i := 0; i < n; i++ {
+		g1.Next(&ins)
+		if ins.Class != workload.Load && ins.Class != workload.Store {
+			continue
+		}
+		refs++
+		if hit, _ := direct.Access(ins.Addr, ins.Class == workload.Store); !hit {
+			direct.Install(ins.Addr, ins.Class == workload.Store, 0)
+		}
+	}
+
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	g2 := workload.NewGenerator(p, 0, rng.New(11))
+	captured, err := Capture(g2, n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured != refs {
+		t.Fatalf("captured %d refs, direct saw %d", captured, refs)
+	}
+
+	replayed := cache.New("replayed", memaddr.NewGeometrySets(256, 4))
+	r, _ := NewReader(&buf)
+	count, err := Replay(r, func(rec Record) {
+		if hit, _ := replayed.Access(rec.Addr, rec.Write); !hit {
+			replayed.Install(rec.Addr, rec.Write, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != refs {
+		t.Fatalf("replayed %d, want %d", count, refs)
+	}
+	if direct.Stats != replayed.Stats {
+		t.Fatalf("replay diverged:\ndirect   %+v\nreplayed %+v", direct.Stats, replayed.Stats)
+	}
+}
+
+func TestReaderCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Addr: 64})
+	w.Write(Record{Addr: 128})
+	w.Flush()
+	r, _ := NewReader(&buf)
+	Replay(r, func(Record) {})
+	if r.Count() != 2 {
+		t.Fatalf("reader count %d, want 2", r.Count())
+	}
+}

@@ -1,0 +1,43 @@
+package nucasim_test
+
+import (
+	"testing"
+
+	"nucasim"
+)
+
+func TestFacadeRun(t *testing.T) {
+	gzip, ok := nucasim.AppByName("gzip")
+	if !ok {
+		t.Fatal("gzip missing from facade")
+	}
+	mix := []nucasim.App{gzip, gzip, gzip, gzip}
+	r := nucasim.Run(nucasim.Config{
+		Scheme:             nucasim.Adaptive,
+		Seed:               1,
+		WarmupInstructions: 60_000,
+		WarmupCycles:       10_000,
+		MeasureCycles:      30_000,
+	}, mix)
+	if r.HarmonicIPC <= 0 {
+		t.Fatal("facade run produced no progress")
+	}
+	if len(r.PartitionLimits) != 4 {
+		t.Fatal("adaptive result should expose partition limits")
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if len(nucasim.Apps()) != 24 {
+		t.Fatalf("Apps() = %d, want 24", len(nucasim.Apps()))
+	}
+	if len(nucasim.IntensiveApps()) == 0 {
+		t.Fatal("IntensiveApps() empty")
+	}
+	if len(nucasim.Schemes()) != 5 {
+		t.Fatalf("Schemes() = %d, want 5", len(nucasim.Schemes()))
+	}
+	if _, ok := nucasim.AppByName("vortex"); ok {
+		t.Fatal("vortex is excluded by the paper and must not resolve")
+	}
+}
