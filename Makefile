@@ -1,0 +1,40 @@
+# nucasim build/verify entry points. `make ci` is what the GitHub
+# workflow runs: vet, build, race-enabled tests, and a smoke run that
+# checks the telemetry artifacts actually parse.
+
+GO ?= go
+
+.PHONY: all build vet test race bench smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Smoke-test the observability pipeline end to end: a short adaptive run
+# must produce an epoch CSV and a JSONL trace that parse, with one CSV
+# row per evaluation.
+smoke: build
+	$(GO) run ./cmd/nucasim -scheme adaptive -cycles 100000 \
+		-metrics-out /tmp/nucasim-smoke.csv -trace-out /tmp/nucasim-smoke.jsonl \
+		> /tmp/nucasim-smoke.txt
+	$(GO) run ./internal/tools/artifactcheck \
+		-metrics /tmp/nucasim-smoke.csv -trace /tmp/nucasim-smoke.jsonl
+	@echo smoke ok
+
+ci: vet build race smoke
+
+clean:
+	rm -f /tmp/nucasim-smoke.csv /tmp/nucasim-smoke.jsonl /tmp/nucasim-smoke.txt

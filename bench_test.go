@@ -13,6 +13,7 @@
 package nucasim_test
 
 import (
+	"io"
 	"testing"
 
 	"nucasim/internal/core"
@@ -22,6 +23,7 @@ import (
 	"nucasim/internal/memaddr"
 	"nucasim/internal/rng"
 	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
 )
 
@@ -334,6 +336,25 @@ func BenchmarkSimulatorCycle(b *testing.B) {
 func BenchmarkAdaptiveAccess(b *testing.B) {
 	mem := dram.New(dram.PrivateConfig())
 	a := core.NewAdaptive(core.Config{}, mem)
+	r := rng.New(1)
+	addrs := make([]memaddr.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = memaddr.Addr(r.Uint64n(1 << 22)).Block().WithSpace(i % 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Access(i%4, addrs[i%len(addrs)], false, uint64(i))
+	}
+}
+
+// BenchmarkAdaptiveAccessTelemetry is BenchmarkAdaptiveAccess with the
+// full telemetry stack attached (counters, epoch ring, JSONL trace to
+// io.Discard). Comparing the two bounds the observability tax; with
+// telemetry absent the hot path pays only nil checks.
+func BenchmarkAdaptiveAccessTelemetry(b *testing.B) {
+	mem := dram.New(dram.PrivateConfig())
+	a := core.NewAdaptive(core.Config{}, mem)
+	a.SetTelemetry(telemetry.New(telemetry.Config{TraceWriter: io.Discard}))
 	r := rng.New(1)
 	addrs := make([]memaddr.Addr, 4096)
 	for i := range addrs {

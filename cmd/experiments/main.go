@@ -4,20 +4,72 @@
 // glance. Use -mixes / -cycles / -warmup-instrs to scale runs up toward
 // the paper's 200 M-cycle windows.
 //
+// Observability:
+//
+//	-json              emit each table as one JSON object per line instead of text
+//	-metrics-out f.csv append every table as CSV (titles on "# " comment lines)
+//	-trace-out f.jsonl stream all adaptive runs' sharing-engine events (JSONL)
+//	-cpuprofile f      write a pprof CPU profile of the whole invocation
+//	-memprofile f      write a pprof heap profile at exit
+//
+// Every experiment reports wall-clock and simulated-cycles-per-second
+// throughput on stderr.
+//
 // Usage:
 //
 //	experiments [flags] fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-//	                    sampling anecdote cost table1 all
+//	                    sampling anecdote cost table1 scaling parallel all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"nucasim/internal/core"
 	"nucasim/internal/experiment"
+	"nucasim/internal/sim"
+	"nucasim/internal/stats"
+	"nucasim/internal/telemetry"
 )
+
+// output carries the artifact sinks every experiment writes through.
+type output struct {
+	json    bool
+	metrics io.Writer // nil unless -metrics-out
+}
+
+// table emits one result table to stdout (text or JSON line) and to the
+// metrics CSV if requested.
+func (o *output) table(t *stats.Table) {
+	if o.json {
+		b, err := json.Marshal(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Println(t)
+	}
+	if o.metrics != nil {
+		if err := t.WriteCSV(o.metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// say prints commentary (paper reference numbers) in text mode only, so
+// -json output stays machine-readable.
+func (o *output) say(format string, args ...any) {
+	if !o.json {
+		fmt.Printf(format+"\n", args...)
+	}
+}
 
 func main() {
 	var opt experiment.Options
@@ -26,102 +78,157 @@ func main() {
 	flag.Uint64Var(&opt.WarmupInstructions, "warmup-instrs", 0, "functional warmup instructions per core (default 1e6)")
 	flag.Uint64Var(&opt.WarmupCycles, "warmup-cycles", 0, "timed warmup cycles (default 1e5)")
 	flag.Uint64Var(&opt.MeasureCycles, "cycles", 0, "measured cycles (default 6e5; paper: 2e8)")
+	jsonOut := flag.Bool("json", false, "emit tables as JSON Lines instead of text")
+	metricsOut := flag.String("metrics-out", "", "append every table as CSV to this file")
+	traceOut := flag.String("trace-out", "", "stream adaptive runs' sharing-engine events (JSONL) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 	which := flag.Args()
 	if len(which) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|sampling|anecdote|cost|table1|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|sampling|anecdote|cost|table1|scaling|parallel|all")
 		os.Exit(2)
 	}
+
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	out := &output{json: *jsonOut}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out.metrics = f
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt.TraceWriter = f
+	}
+
 	for _, w := range which {
 		if w == "all" {
 			for _, x := range []string{"table1", "cost", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sampling", "anecdote", "scaling", "parallel"} {
-				run(x, opt)
+				timed(x, opt, out)
 			}
 			continue
 		}
-		run(w, opt)
+		timed(w, opt, out)
+	}
+
+	if err := stopCPU(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 
-func run(which string, opt experiment.Options) {
+// timed runs one experiment and reports its wall-clock and simulated
+// throughput on stderr.
+func timed(which string, opt experiment.Options, out *output) {
+	start := time.Now()
+	cyclesBefore := sim.CyclesSimulated()
+	run(which, opt, out)
+	tp := telemetry.Throughput{
+		Wall:      time.Since(start),
+		SimCycles: sim.CyclesSimulated() - cyclesBefore,
+	}
+	fmt.Fprintf(os.Stderr, "# %s: %s\n", which, tp)
+}
+
+func run(which string, opt experiment.Options, out *output) {
 	switch which {
 	case "table1":
-		printTable1()
+		if !out.json {
+			printTable1()
+		}
 	case "cost":
-		printCost()
+		if !out.json {
+			printCost()
+		}
 	case "fig3":
-		fmt.Println(experiment.Fig3(opt))
-		fmt.Println("paper: mcf is the innermost (flattest) curve — one block per set suffices;")
-		fmt.Println("gzip needs four blocks per set to avoid most misses.")
+		out.table(experiment.Fig3(opt))
+		out.say("paper: mcf is the innermost (flattest) curve — one block per set suffices;")
+		out.say("gzip needs four blocks per set to avoid most misses.")
 	case "fig5":
-		t := experiment.Fig5(opt)
-		fmt.Println(t)
-		fmt.Printf("threshold: %.0f accesses per 1000 cycles (paper §4.1)\n", experiment.IntensiveThreshold)
+		out.table(experiment.Fig5(opt))
+		out.say("threshold: %.0f accesses per 1000 cycles (paper §4.1)", experiment.IntensiveThreshold)
 	case "fig6":
 		r := experiment.Fig6(opt)
-		fmt.Println(r.Table)
-		fmt.Printf("adaptive vs private: harmonic %+.1f%%, mean %+.1f%%  (paper: +21%%, +13%%)\n",
+		out.table(r.Table)
+		out.say("adaptive vs private: harmonic %+.1f%%, mean %+.1f%%  (paper: +21%%, +13%%)",
 			r.HarmonicGainVsPrivatePct, r.MeanGainVsPrivatePct)
-		fmt.Printf("adaptive vs shared:  harmonic %+.1f%%, mean %+.1f%%  (paper: +2%%, +5%%)\n",
+		out.say("adaptive vs shared:  harmonic %+.1f%%, mean %+.1f%%  (paper: +2%%, +5%%)",
 			r.HarmonicGainVsSharedPct, r.MeanGainVsSharedPct)
 	case "fig7":
-		fmt.Println(experiment.Fig7(opt))
-		fmt.Println("paper: ammp, art, twolf and vpr benefit from capacity (high private4x")
-		fmt.Println("columns); the adaptive scheme tracks or beats shared for them.")
+		out.table(experiment.Fig7(opt))
+		out.say("paper: ammp, art, twolf and vpr benefit from capacity (high private4x")
+		out.say("columns); the adaptive scheme tracks or beats shared for them.")
 	case "fig8":
-		fmt.Println(experiment.Fig8(opt))
-		fmt.Println("paper: non-intensive apps sit near 1.0; wupwise can lose when")
-		fmt.Println("co-scheduled with three ammp copies (see 'anecdote').")
+		out.table(experiment.Fig8(opt))
+		out.say("paper: non-intensive apps sit near 1.0; wupwise can lose when")
+		out.say("co-scheduled with three ammp copies (see 'anecdote').")
 	case "fig9":
-		fmt.Println(experiment.Fig9(opt))
-		fmt.Println("paper: with an 8 MB L3 most apps no longer gain from capacity and the")
-		fmt.Println("adaptive scheme's constraints can degrade performance.")
+		out.table(experiment.Fig9(opt))
+		out.say("paper: with an 8 MB L3 most apps no longer gain from capacity and the")
+		out.say("adaptive scheme's constraints can degrade performance.")
 	case "fig10":
 		r := experiment.Fig10(opt)
-		fmt.Println(r.Table)
-		fmt.Printf("scaled technology: shared %.3f, adaptive %.3f average speedup vs private\n",
+		out.table(r.Table)
+		out.say("scaled technology: shared %.3f, adaptive %.3f average speedup vs private",
 			r.AvgShared, r.AvgAdaptive)
-		fmt.Println("(paper: the adaptive scheme has the highest average gain)")
+		out.say("(paper: the adaptive scheme has the highest average gain)")
 	case "fig11":
-		fmt.Println(experiment.Fig11(opt))
-		fmt.Println("paper: the adaptive scheme generally beats random replacement on")
-		fmt.Println("memory-intensive mixes.")
+		out.table(experiment.Fig11(opt))
+		out.say("paper: the adaptive scheme generally beats random replacement on")
+		out.say("memory-intensive mixes.")
 	case "fig12":
-		fmt.Println(experiment.Fig12(opt))
-		fmt.Println("paper: with both categories mixed in, the two schemes come out close.")
+		out.table(experiment.Fig12(opt))
+		out.say("paper: with both categories mixed in, the two schemes come out close.")
 	case "sampling":
 		r := experiment.ShadowSampling(opt)
-		fmt.Println(r.Table)
-		fmt.Printf("sampling 1/16 of sets: mean IPC %+.2f%%, harmonic IPC %+.2f%%  (paper: +0.1%%, -0.1%%)\n",
+		out.table(r.Table)
+		out.say("sampling 1/16 of sets: mean IPC %+.2f%%, harmonic IPC %+.2f%%  (paper: +0.1%%, -0.1%%)",
 			r.MeanIPCDeltaPct, r.HarmonicIPCDeltaPct)
 	case "anecdote":
 		r := experiment.Anecdote(opt)
-		fmt.Println(r.Table)
-		fmt.Printf("wupwise slowdown %.3f, ammp speedup %.3f; harmonic %.4f -> %.4f\n",
+		out.table(r.Table)
+		out.say("wupwise slowdown %.3f, ammp speedup %.3f; harmonic %.4f -> %.4f",
 			r.WupwiseSlowdown, r.AmmpSpeedup, r.HarmonicPrivate, r.HarmonicAdaptive)
-		fmt.Println("(paper §4.3: wupwise 1.797 -> 1.326 while 3x ammp 0.0319 -> 0.032x;")
-		fmt.Println("the harmonic mean still improves, which is the scheme's objective)")
+		out.say("(paper §4.3: wupwise 1.797 -> 1.326 while 3x ammp 0.0319 -> 0.032x;")
+		out.say("the harmonic mean still improves, which is the scheme's objective)")
 	case "scaling":
 		r := experiment.CoreScaling(opt)
-		fmt.Println(r.Table)
-		fmt.Printf("adaptive gain over private: %+.1f%% at 4 cores, %+.1f%% at 8 cores\n",
+		out.table(r.Table)
+		out.say("adaptive gain over private: %+.1f%% at 4 cores, %+.1f%% at 8 cores",
 			r.GainAtCores[4], r.GainAtCores[8])
-		fmt.Println("(paper §6 conjectures the scheme scales to higher core counts; the")
-		fmt.Println("remaining gain at 8 cores is bounded by memory-channel saturation)")
+		out.say("(paper §6 conjectures the scheme scales to higher core counts; the")
+		out.say("remaining gain at 8 cores is bounded by memory-channel saturation)")
 	case "parallel":
 		r := experiment.ParallelWorkloads(opt)
-		fmt.Println(r.Table)
-		fmt.Printf("average speedup vs private: adaptive %.2fx, shared %.2fx\n",
+		out.table(r.Table)
+		out.say("average speedup vs private: adaptive %.2fx, shared %.2fx",
 			r.AdaptiveVsPrivate, r.SharedVsPrivate)
-		fmt.Println("(paper §3 hypothesizes the scheme is effective for parallel workloads;")
-		fmt.Println("single-copy shared data makes both organizations beat replicating")
-		fmt.Println("private caches, with the adaptive scheme also protecting thread-private")
-		fmt.Println("state — read-mostly sharing only, no coherence protocol is modelled)")
+		out.say("(paper §3 hypothesizes the scheme is effective for parallel workloads;")
+		out.say("single-copy shared data makes both organizations beat replicating")
+		out.say("private caches, with the adaptive scheme also protecting thread-private")
+		out.say("state — read-mostly sharing only, no coherence protocol is modelled)")
 	default:
 		fmt.Fprintln(os.Stderr, "unknown experiment:", which)
 		os.Exit(2)
 	}
-	fmt.Println()
+	out.say("")
 }
 
 func printTable1() {

@@ -1,26 +1,37 @@
 // Command nucasim runs one multiprogrammed workload mix on the simulated
-// 4-core CMP under a chosen last-level cache organization and reports
-// per-core IPC, cache behaviour and (for the adaptive scheme) the final
-// partitioning.
+// CMP under a chosen last-level cache organization and reports per-core
+// IPC, cache behaviour and (for the adaptive scheme) the sharing
+// engine's telemetry: evaluations, transfers, and the partition history.
+//
+// Machine-readable artifacts:
+//
+//	-metrics-out m.csv   epoch time-series (one row per repartition evaluation)
+//	-trace-out t.jsonl   JSONL event trace (decisions, swaps, demotions, evictions)
+//	-json                full run summary as JSON on stdout instead of text
 //
 // Example:
 //
-//	nucasim -scheme adaptive -apps ammp,swim,lucas,lucas -cycles 2000000
+//	nucasim -scheme adaptive -apps ammp,swim,lucas,lucas -cycles 2000000 \
+//	        -metrics-out m.csv -trace-out t.jsonl
+//
+// The number of apps sets the core count (the paper's machine is 4).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
 )
 
 func main() {
 	scheme := flag.String("scheme", "adaptive", "llc organization: private|shared|private4x|coop|adaptive")
-	apps := flag.String("apps", "ammp,swim,lucas,gzip", "comma-separated application names (one per core)")
+	apps := flag.String("apps", "ammp,swim,lucas,gzip", "comma-separated application names (one per core, ≥2)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup-instrs", 1_000_000, "functional warmup instructions per core")
 	cycles := flag.Uint64("cycles", 1_000_000, "measured cycles")
@@ -28,6 +39,12 @@ func main() {
 	l3 := flag.Int("l3-bytes", 1<<20, "L3 bytes per core (private partition size)")
 	sample := flag.Bool("sample-shadow", false, "shadow tags in 1/16 of sets (§4.6)")
 	list := flag.Bool("list", false, "list available applications and exit")
+
+	metricsOut := flag.String("metrics-out", "", "write the epoch time-series as CSV to this file")
+	traceOut := flag.String("trace-out", "", "write the sharing-engine event trace as JSON Lines to this file")
+	traceSample := flag.Uint64("trace-sample", 16, "record 1 in N block events (swap/migrate/demote/evict); decisions are always recorded")
+	epochCap := flag.Int("epoch-cap", telemetry.DefaultEpochCapacity, "bound on retained epoch samples (oldest dropped)")
+	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
 	flag.Parse()
 
 	if *list {
@@ -51,12 +68,13 @@ func main() {
 		}
 		mix = append(mix, p)
 	}
-	if len(mix) != 4 {
-		fmt.Fprintf(os.Stderr, "need exactly 4 applications, got %d\n", len(mix))
+	if len(mix) < 2 {
+		fmt.Fprintf(os.Stderr, "need at least 2 applications (one per core), got %d\n", len(mix))
 		os.Exit(2)
 	}
 
 	cfg := sim.Config{
+		Cores:              len(mix),
 		Scheme:             sim.Scheme(*scheme),
 		Seed:               *seed,
 		WarmupInstructions: *warmup,
@@ -67,8 +85,68 @@ func main() {
 	if *sample {
 		cfg.ShadowSampleShift = 4
 	}
+
+	// Telemetry is on whenever the scheme has something to observe (the
+	// adaptive controller) or an artifact was requested.
+	telcfg := telemetry.Config{
+		EpochCapacity: *epochCap,
+		SampleEvery:   map[telemetry.Kind]uint64{},
+	}
+	for _, k := range telemetry.Kinds() {
+		if k != telemetry.KindRepartition {
+			telcfg.SampleEvery[k] = *traceSample
+		}
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceFile = f
+		telcfg.TraceWriter = f
+	}
+	if cfg.Scheme == sim.SchemeAdaptive || *metricsOut != "" || *traceOut != "" || *jsonOut {
+		cfg.Telemetry = &telcfg
+	}
+
 	r := sim.Run(cfg, mix)
 
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = telemetry.WriteEpochCSV(f, r.Epochs)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	printText(r, mix)
+}
+
+func printText(r sim.Result, mix []workload.AppParams) {
 	fmt.Printf("scheme: %s   mix: %s\n\n", r.Scheme, strings.Join(r.Mix, " "))
 	fmt.Printf("%-10s %10s %12s %12s %12s\n", "core/app", "IPC", "L3 acc/kc", "L3 miss/kc", "mispredict")
 	for c := range mix {
@@ -83,8 +161,39 @@ func main() {
 		llc.Accesses, llc.LocalHits, llc.RemoteHits, llc.Misses, llc.MissRate()*100)
 	fmt.Printf("memory: %d reads, %d writebacks, %d queue cycles\n",
 		r.Memory.Reads, r.Memory.Writebacks, r.Memory.QueueCycles)
-	if r.PartitionLimits != nil {
-		fmt.Printf("adaptive partition limits (blocks/set per core): %v after %d transfers\n",
-			r.PartitionLimits, r.Repartitions)
+	fmt.Printf("throughput: %s\n", r.Throughput)
+
+	if r.PartitionLimits == nil {
+		return
+	}
+	fmt.Printf("\nadaptive sharing engine:\n")
+	fmt.Printf("  evaluations %d, transfers %d, final limits (blocks/set per core) %v\n",
+		r.Evaluations, r.Repartitions, r.PartitionLimits)
+	fmt.Printf("  demotions %d, shared-hit swaps %d, neighbor migrations %d, evictions %d\n",
+		r.Counters["adaptive.demotions"], r.Counters["adaptive.shared_swaps"],
+		r.Counters["adaptive.neighbor_migrations"], r.Counters["adaptive.evictions"])
+	fmt.Printf("  epochs recorded %d (dropped %d)\n", len(r.Epochs), r.EpochsDropped)
+
+	// Partition history: every applied transfer, most recent last.
+	const maxShown = 12
+	var transfers []telemetry.EpochSample
+	for _, e := range r.Epochs {
+		if e.Transferred {
+			transfers = append(transfers, e)
+		}
+	}
+	if len(transfers) == 0 {
+		return
+	}
+	shown := transfers
+	if len(shown) > maxShown {
+		fmt.Printf("  partition history (last %d of %d transfers):\n", maxShown, len(transfers))
+		shown = shown[len(shown)-maxShown:]
+	} else {
+		fmt.Printf("  partition history (%d transfers):\n", len(transfers))
+	}
+	for _, e := range shown {
+		fmt.Printf("    eval %-6d cycle %-10d core %d ← core %d   limits %v\n",
+			e.Eval, e.Cycle, e.Gainer, e.Loser, e.Limits)
 	}
 }

@@ -5,17 +5,26 @@
 //	sweep -kind ways       # Figure 3-style associativity sweep for one app
 //
 // Each sweep prints one table of harmonic-mean IPC (or misses) per point.
+// Observability flags mirror cmd/experiments: -json (table as JSON),
+// -metrics-out (table as CSV), -trace-out (JSONL sharing-engine events of
+// every adaptive run, labelled per sweep point), -cpuprofile/-memprofile
+// (pprof), and a wall-clock / simulated-cycles-per-second footer on
+// stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"nucasim/internal/experiment"
 	"nucasim/internal/sim"
 	"nucasim/internal/stats"
+	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
 )
 
@@ -26,18 +35,86 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup-instrs", 1_000_000, "functional warmup per core")
 	cycles := flag.Uint64("cycles", 600_000, "measured cycles")
+	jsonOut := flag.Bool("json", false, "emit the sweep table as JSON instead of text")
+	metricsOut := flag.String("metrics-out", "", "write the sweep table as CSV to this file")
+	traceOut := flag.String("trace-out", "", "stream adaptive runs' sharing-engine events (JSONL) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var trace io.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		trace = f
+	}
+
+	start := time.Now()
+	cyclesBefore := sim.CyclesSimulated()
+
+	var t *stats.Table
+	var footer string
 	switch *kind {
 	case "capacity":
-		sweepCapacity(mixFrom(*apps), *seed, *warmup, *cycles)
+		t = sweepCapacity(mixFrom(*apps), *seed, *warmup, *cycles, trace)
 	case "period":
-		sweepPeriod(mixFrom(*apps), *seed, *warmup, *cycles)
+		t = sweepPeriod(mixFrom(*apps), *seed, *warmup, *cycles, trace)
+		footer = "(paper §2.1 uses 2000 misses: long enough to measure, short enough to adapt)"
 	case "ways":
-		sweepWays(*app, *seed)
+		t = sweepWays(*app, *seed)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown sweep kind:", *kind)
 		os.Exit(2)
+	}
+
+	if *jsonOut {
+		b, err := json.Marshal(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Println(t)
+		if footer != "" {
+			fmt.Println(footer)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = t.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	tp := telemetry.Throughput{
+		Wall:      time.Since(start),
+		SimCycles: sim.CyclesSimulated() - cyclesBefore,
+	}
+	fmt.Fprintf(os.Stderr, "# %s sweep: %s\n", *kind, tp)
+
+	if err := stopCPU(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 
@@ -58,40 +135,54 @@ func mixFrom(csv string) []workload.AppParams {
 	return mix
 }
 
-func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64) {
+// telemetryFor labels one sweep point's adaptive run in a shared trace.
+func telemetryFor(trace io.Writer, label string) *telemetry.Config {
+	if trace == nil {
+		return nil
+	}
+	return &telemetry.Config{Run: label, TraceWriter: trace}
+}
+
+func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer) *stats.Table {
 	t := stats.NewTable("capacity sweep: harmonic IPC vs L3 bytes per core",
 		"private", "shared", "adaptive")
 	for _, kb := range []int{512, 1024, 2048, 4096} {
+		label := fmt.Sprintf("%d KB/core", kb)
 		row := make([]float64, 0, 3)
 		for _, s := range []sim.Scheme{sim.SchemePrivate, sim.SchemeShared, sim.SchemeAdaptive} {
-			r := sim.Run(sim.Config{
+			cfg := sim.Config{
 				Scheme: s, Seed: seed,
 				WarmupInstructions: warmup, MeasureCycles: cycles,
 				L3BytesPerCore: kb << 10,
-			}, mix)
+			}
+			if s == sim.SchemeAdaptive {
+				cfg.Telemetry = telemetryFor(trace, label)
+			}
+			r := sim.Run(cfg, mix)
 			row = append(row, r.HarmonicIPC)
 		}
-		t.AddRow(fmt.Sprintf("%d KB/core", kb), row...)
+		t.AddRow(label, row...)
 	}
-	fmt.Println(t)
+	return t
 }
 
-func sweepPeriod(mix []workload.AppParams, seed, warmup, cycles uint64) {
+func sweepPeriod(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer) *stats.Table {
 	t := stats.NewTable("re-evaluation period sweep (adaptive): harmonic IPC",
-		"harmonic IPC", "repartitions")
+		"harmonic IPC", "repartitions", "evaluations")
 	for _, period := range []int{250, 500, 1000, 2000, 4000, 8000} {
+		label := fmt.Sprintf("%d misses", period)
 		r := sim.Run(sim.Config{
 			Scheme: sim.SchemeAdaptive, Seed: seed,
 			WarmupInstructions: warmup, MeasureCycles: cycles,
 			RepartitionPeriod: period,
+			Telemetry:         telemetryFor(trace, label),
 		}, mix)
-		t.AddRow(fmt.Sprintf("%d misses", period), r.HarmonicIPC, float64(r.Repartitions))
+		t.AddRow(label, r.HarmonicIPC, float64(r.Repartitions), float64(r.Evaluations))
 	}
-	fmt.Println(t)
-	fmt.Println("(paper §2.1 uses 2000 misses: long enough to measure, short enough to adapt)")
+	return t
 }
 
-func sweepWays(app string, seed uint64) {
+func sweepWays(app string, seed uint64) *stats.Table {
 	p, ok := workload.ByName(app)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown application %q\n", app)
@@ -101,5 +192,5 @@ func sweepWays(app string, seed uint64) {
 	for _, w := range []int{1, 2, 3, 4, 5, 6, 8, 12, 16} {
 		t.AddRow(fmt.Sprintf("%d-way", w), experiment.MissRatioAtWays(p, w, seed))
 	}
-	fmt.Println(t)
+	return t
 }

@@ -3,6 +3,10 @@
 // re-evaluates every 2000 misses, and see the gain/loss counters that
 // drive each decision (Figure 4(c)).
 //
+// Everything shown here comes out of the telemetry epoch time-series
+// that sim.Run records — the same data `nucasim -metrics-out` writes as
+// CSV — so a plotting script sees exactly what this program prints.
+//
 //	go run ./examples/partition_dynamics
 package main
 
@@ -10,6 +14,7 @@ import (
 	"fmt"
 
 	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
 )
 
@@ -21,42 +26,47 @@ func main() {
 		mix = append(mix, p)
 	}
 
-	m := sim.NewMachine(sim.Config{
-		Scheme: sim.SchemeAdaptive,
-		Seed:   2,
+	r := sim.Run(sim.Config{
+		Scheme:             sim.SchemeAdaptive,
+		Seed:               2,
+		WarmupInstructions: 1_500_000,
+		MeasureCycles:      1_000_000,
+		Telemetry:          &telemetry.Config{},
 	}, mix)
 
 	fmt.Printf("mix: %v\n", names)
-	fmt.Println("initial limits:", m.Adaptive.MaxBlocks(), " (75% private: 3 of 4 ways each)")
+	fmt.Println("initial limits: [3 3 3 3]  (75% private: 3 of 4 ways each)")
 	fmt.Println()
-	fmt.Printf("%-12s %-14s %-10s\n", "evaluation", "limits", "transferred")
+	fmt.Printf("%-6s %-14s %-24s %-8s %s\n",
+		"eval", "limits", "decision", "gain", "loss")
 
-	eval := 0
-	m.Adaptive.OnRepartition = func(limits []int, transferred bool) {
-		eval++
-		if eval%5 == 0 || transferred {
-			fmt.Printf("%-12d %-14v %v\n", eval, limits, transferred)
+	for _, e := range r.Epochs {
+		// Print every transfer and a heartbeat every 5th evaluation.
+		if !e.Transferred && e.Eval%5 != 0 {
+			continue
 		}
+		decision := "hold"
+		if e.Transferred {
+			decision = fmt.Sprintf("core %d ← core %d", e.Gainer, e.Loser)
+		}
+		fmt.Printf("%-6d %-14s %-24s %-8.2f %.2f\n",
+			e.Eval, fmt.Sprint(e.Limits), decision, e.Gain, e.Loss)
 	}
 
-	// Warm functionally (the controller runs during warmup too — misses
-	// drive it no matter where they come from), then run timed cycles.
-	m.WarmFunctional(1_500_000)
-	m.Run(1_000_000)
-
 	fmt.Println()
-	fmt.Println("final limits:", m.Adaptive.MaxBlocks())
-	shadow, lru := m.Adaptive.Counters()
-	fmt.Println("gain counters (shadow-tag hits since last eval):", shadow)
-	fmt.Println("loss counters (LRU-block hits since last eval):  ", lru)
+	fmt.Printf("evaluations %d, transfers %d, final limits %v\n",
+		r.Evaluations, r.Repartitions, r.PartitionLimits)
+	fmt.Printf("demotions %d, shared-hit swaps %d, neighbor migrations %d, evictions %d\n",
+		r.Counters["adaptive.demotions"], r.Counters["adaptive.shared_swaps"],
+		r.Counters["adaptive.neighbor_migrations"], r.Counters["adaptive.evictions"])
 	fmt.Println()
 	for c, name := range names {
-		st := m.Org.CoreStats(c)
-		fmt.Printf("%-8s local %7d  remote %6d  miss %7d  (%.1f%% miss)\n",
-			name, st.LocalHits, st.RemoteHits, st.Misses, st.MissRate()*100)
+		last := r.Epochs[len(r.Epochs)-1]
+		fmt.Printf("%-8s IPC %.4f   epoch miss rate %.1f%%\n",
+			name, r.PerCoreIPC[c], last.MissRate(c)*100)
 	}
-	occ := m.Adaptive.InspectSet(0)
+	last := r.Epochs[len(r.Epochs)-1]
 	fmt.Println()
-	fmt.Printf("set 0 snapshot: private sizes %v, %d shared blocks, per-owner %v\n",
-		occ.Private, occ.SharedBlocks, occ.ByOwner)
+	fmt.Printf("occupancy at last evaluation: %d private blocks, %d shared blocks\n",
+		last.PrivateBlocks, last.SharedBlocks)
 }

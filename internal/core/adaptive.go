@@ -37,6 +37,7 @@ import (
 	"nucasim/internal/dram"
 	"nucasim/internal/llc"
 	"nucasim/internal/memaddr"
+	"nucasim/internal/telemetry"
 )
 
 // Config parameterizes the adaptive organization. Zero fields select the
@@ -170,6 +171,17 @@ type Adaptive struct {
 	// partition-dynamics example and tests.
 	OnRepartition func(maxBlocks []int, transferred bool)
 
+	// Telemetry plumbing (see SetTelemetry). tel is checked only on the
+	// cold repartition path; trace and the counters are nil-safe, so the
+	// hot access path pays one nil comparison each when disabled.
+	tel        *telemetry.Telemetry
+	trace      *telemetry.Tracer
+	ctrSwap    *telemetry.Counter
+	ctrMigrate *telemetry.Counter
+	ctrDemote  *telemetry.Counter
+	ctrEvict   *telemetry.Counter
+	epochStats []llc.AccessStats // per-core snapshot at the last epoch boundary
+
 	countsScratch []int
 	homesScratch  []int
 }
@@ -210,6 +222,33 @@ func NewAdaptive(cfg Config, mem *dram.Memory) *Adaptive {
 
 // Name implements llc.Organization.
 func (a *Adaptive) Name() string { return "adaptive" }
+
+// SetTelemetry attaches a telemetry instance: every repartitioning
+// evaluation is sampled into t's epoch ring, sharing-engine events go to
+// t's tracer (if configured), and the named counters
+// adaptive.shared_swaps / neighbor_migrations / demotions / evictions
+// are registered. A nil t detaches and restores the uninstrumented hot
+// path. The controller runs during functional warmup too, so epochs and
+// events cover warmup unless the caller attaches telemetry afterwards.
+func (a *Adaptive) SetTelemetry(t *telemetry.Telemetry) {
+	a.tel = t
+	if t == nil {
+		a.trace = nil
+		a.ctrSwap, a.ctrMigrate, a.ctrDemote, a.ctrEvict = nil, nil, nil, nil
+		a.epochStats = nil
+		return
+	}
+	a.trace = t.Trace
+	a.ctrSwap = t.Registry.Counter("adaptive.shared_swaps")
+	a.ctrMigrate = t.Registry.Counter("adaptive.neighbor_migrations")
+	a.ctrDemote = t.Registry.Counter("adaptive.demotions")
+	a.ctrEvict = t.Registry.Counter("adaptive.evictions")
+	a.epochStats = make([]llc.AccessStats, a.cfg.Cores)
+	copy(a.epochStats, a.perCore)
+}
+
+// Telemetry returns the attached instance (nil when disabled).
+func (a *Adaptive) Telemetry() *telemetry.Telemetry { return a.tel }
 
 // privTarget is the current private-partition size for a core: the
 // occupancy limit capped by the local associativity (Section 2.2).
@@ -280,6 +319,8 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			// Section 2.3: the hit block moves into the private
 			// partition; the private LRU block takes its slot and
 			// becomes shared-MRU.
+			a.ctrSwap.Inc()
+			a.trace.Block(telemetry.KindSwap, now, coreID, int(blk.owner), setIdx, blk.dirty)
 			oldHome := blk.home
 			s.shared = append(s.shared[:i], s.shared[i+1:]...)
 			blk.dirty = blk.dirty || write
@@ -289,7 +330,7 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			// (parallel-mode) blocks follow their most recent user.
 			blk.owner = int16(coreID)
 			blk.home = int16(coreID)
-			a.adoptIntoPrivate(s, coreID, blk, oldHome)
+			a.adoptIntoPrivate(s, coreID, blk, oldHome, setIdx, now)
 			return now + lat, true
 		}
 	}
@@ -305,6 +346,8 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			// Hit in a neighbor's private partition (shared data):
 			// migrate to the requester, like a neighbor-cache hit.
 			blk := op[i]
+			a.ctrMigrate.Inc()
+			a.trace.Block(telemetry.KindMigrate, now, coreID, int(blk.owner), setIdx, blk.dirty)
 			s.priv[other] = append(op[:i], op[i+1:]...)
 			st.RemoteHits++
 			lat := uint64(a.cfg.Latencies.RemoteHit)
@@ -313,7 +356,7 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			blk.dirty = blk.dirty || write
 			blk.owner = int16(coreID) // requester is the new fetcher
 			blk.home = int16(coreID)
-			a.adoptIntoPrivate(s, coreID, blk, oldHome)
+			a.adoptIntoPrivate(s, coreID, blk, oldHome, setIdx, now)
 			return now + lat, true
 		}
 	}
@@ -335,17 +378,20 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	for len(s.priv[coreID]) > a.privTarget(coreID) {
 		demoted := s.priv[coreID][len(s.priv[coreID])-1]
 		s.priv[coreID] = s.priv[coreID][:len(s.priv[coreID])-1]
+		st.Demotions++
+		a.ctrDemote.Inc()
+		a.trace.Block(telemetry.KindDemote, now, coreID, int(demoted.owner), setIdx, demoted.dirty)
 		s.shared = prependBlock(s.shared, demoted)
 	}
 	// Evict until the global set fits its slots (Algorithm 1).
 	for s.total() > a.totalWays {
-		a.evictAlgorithm1(setIdx, s, now)
+		a.evictAlgorithm1(setIdx, coreID, s, now)
 	}
 	a.rebalanceHomes(s)
 
 	a.missesSinceRepart++
 	if a.missesSinceRepart >= a.cfg.RepartitionPeriod && !a.cfg.DisableAdaptation {
-		a.repartition()
+		a.repartition(now)
 	}
 	return ready, false
 }
@@ -353,12 +399,15 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 // adoptIntoPrivate inserts a migrated block at the requester's private MRU
 // position, demoting the private LRU into the slot the block vacated
 // (Section 2.3's swap), then restores the physical-home invariant.
-func (a *Adaptive) adoptIntoPrivate(s *gset, coreID int, blk blockRec, vacatedHome int16) {
+func (a *Adaptive) adoptIntoPrivate(s *gset, coreID int, blk blockRec, vacatedHome int16, setIdx int, now uint64) {
 	s.priv[coreID] = prependBlock(s.priv[coreID], blk)
 	if len(s.priv[coreID]) > a.privTarget(coreID) {
 		demoted := s.priv[coreID][len(s.priv[coreID])-1]
 		s.priv[coreID] = s.priv[coreID][:len(s.priv[coreID])-1]
 		demoted.home = vacatedHome // physical swap
+		a.perCore[coreID].Demotions++
+		a.ctrDemote.Inc()
+		a.trace.Block(telemetry.KindDemote, now, coreID, int(demoted.owner), setIdx, demoted.dirty)
 		s.shared = prependBlock(s.shared, demoted)
 	}
 	a.rebalanceHomes(s)
@@ -374,7 +423,8 @@ func prependBlock(stack []blockRec, b blockRec) []blockRec {
 
 // evictAlgorithm1 removes one block from the shared partition following
 // Algorithm 1 and hands it to memory (shadow-tag record + writeback).
-func (a *Adaptive) evictAlgorithm1(setIdx int, s *gset, now uint64) {
+// requester is the core whose fill forced the eviction (telemetry only).
+func (a *Adaptive) evictAlgorithm1(setIdx, requester int, s *gset, now uint64) {
 	if len(s.shared) == 0 {
 		panic("core: shared partition empty during eviction — invariant broken")
 	}
@@ -391,6 +441,8 @@ func (a *Adaptive) evictAlgorithm1(setIdx int, s *gset, now uint64) {
 	}
 	victim := s.shared[victimIdx]
 	s.shared = append(s.shared[:victimIdx], s.shared[victimIdx+1:]...)
+	a.ctrEvict.Inc()
+	a.trace.Block(telemetry.KindEvict, now, requester, int(victim.owner), setIdx, victim.dirty)
 	a.shadow.Record(setIdx, int(victim.owner), victim.tag)
 	ost := &a.perCore[victim.owner]
 	ost.Evictions++
@@ -448,8 +500,8 @@ func (a *Adaptive) rebalanceHomes(s *gset) {
 
 // repartition is the Section 2.1 re-evaluation: compare the best gain of
 // growing against the smallest loss of shrinking and transfer one block
-// per set if worthwhile.
-func (a *Adaptive) repartition() {
+// per set if worthwhile. now is the decision cycle (telemetry only).
+func (a *Adaptive) repartition(now uint64) {
 	a.missesSinceRepart = 0
 	a.Evaluations++
 
@@ -479,6 +531,9 @@ func (a *Adaptive) repartition() {
 		a.Repartitions++
 		transferred = true
 	}
+	if a.tel != nil {
+		a.observeEpoch(now, gainer, loser, gain, loss, transferred)
+	}
 	for c := range a.shadowHits {
 		a.shadowHits[c] = 0
 		a.lruHits[c] = 0
@@ -486,6 +541,54 @@ func (a *Adaptive) repartition() {
 	if a.OnRepartition != nil {
 		a.OnRepartition(a.MaxBlocks(), transferred)
 	}
+}
+
+// observeEpoch records the evaluation just decided into the telemetry
+// epoch ring and event trace. Called off the hot path (once per
+// RepartitionPeriod misses), so the occupancy scan over all global sets
+// and the slice copies are affordable.
+func (a *Adaptive) observeEpoch(now uint64, gainer, loser int, gain, loss float64, transferred bool) {
+	privBlocks, sharedBlocks := 0, 0
+	for i := range a.sets {
+		for _, p := range a.sets[i].priv {
+			privBlocks += len(p)
+		}
+		sharedBlocks += len(a.sets[i].shared)
+	}
+	s := telemetry.EpochSample{
+		Eval:          a.Evaluations,
+		Cycle:         now,
+		Limits:        append([]int(nil), a.maxBlocks...),
+		ShadowHits:    append([]uint64(nil), a.shadowHits...),
+		LRUHits:       append([]uint64(nil), a.lruHits...),
+		Gainer:        gainer,
+		Loser:         loser,
+		Gain:          gain,
+		Loss:          loss,
+		Transferred:   transferred,
+		PrivateBlocks: privBlocks,
+		SharedBlocks:  sharedBlocks,
+		EpochAccesses: make([]uint64, a.cfg.Cores),
+		EpochMisses:   make([]uint64, a.cfg.Cores),
+	}
+	for c := range a.perCore {
+		s.EpochAccesses[c] = a.perCore[c].Accesses - a.epochStats[c].Accesses
+		s.EpochMisses[c] = a.perCore[c].Misses - a.epochStats[c].Misses
+		a.epochStats[c] = a.perCore[c]
+	}
+	a.tel.RecordEpoch(s)
+	a.trace.Decision(telemetry.DecisionEvent{
+		Cycle:       now,
+		Eval:        a.Evaluations,
+		Gainer:      gainer,
+		Loser:       loser,
+		Gain:        gain,
+		Loss:        loss,
+		Transferred: transferred,
+		Limits:      a.maxBlocks,
+		ShadowHits:  a.shadowHits,
+		LRUHits:     a.lruHits,
+	})
 }
 
 // Counters returns copies of the current gain/loss counters (Figure 4(c)):
@@ -536,6 +639,7 @@ func (a *Adaptive) TotalStats() llc.AccessStats {
 		t.Misses += s.Misses
 		t.Evictions += s.Evictions
 		t.Writebacks += s.Writebacks
+		t.Demotions += s.Demotions
 		t.TotalLatency += s.TotalLatency
 	}
 	return t
@@ -560,6 +664,9 @@ func (a *Adaptive) Reset() {
 		a.shadowHits[c] = 0
 		a.lruHits[c] = 0
 		a.perCore[c] = llc.AccessStats{}
+	}
+	for c := range a.epochStats {
+		a.epochStats[c] = llc.AccessStats{}
 	}
 	a.missesSinceRepart = 0
 	a.Repartitions = 0

@@ -12,12 +12,14 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 
 	"nucasim/internal/cache"
 	"nucasim/internal/memaddr"
 	"nucasim/internal/rng"
 	"nucasim/internal/sim"
 	"nucasim/internal/stats"
+	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
 )
 
@@ -34,6 +36,12 @@ type Options struct {
 
 	// Cores overrides the CMP width (default 4, the paper's machine).
 	Cores int
+
+	// TraceWriter, if set, streams every adaptive run's sharing-engine
+	// events to one JSONL sink; each run is labelled "adaptive-seed<N>"
+	// so decisions from different mixes stay distinguishable
+	// (cmd/experiments -trace-out).
+	TraceWriter io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -56,7 +64,7 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) simConfig(scheme sim.Scheme, seed uint64) sim.Config {
-	return sim.Config{
+	cfg := sim.Config{
 		Cores:              o.Cores,
 		Scheme:             scheme,
 		Seed:               seed,
@@ -64,6 +72,13 @@ func (o Options) simConfig(scheme sim.Scheme, seed uint64) sim.Config {
 		WarmupCycles:       o.WarmupCycles,
 		MeasureCycles:      o.MeasureCycles,
 	}
+	if o.TraceWriter != nil && scheme == sim.SchemeAdaptive {
+		cfg.Telemetry = &telemetry.Config{
+			Run:         fmt.Sprintf("%s-seed%d", scheme, seed),
+			TraceWriter: o.TraceWriter,
+		}
+	}
+	return cfg
 }
 
 // drawMixes reproduces the paper's experiment construction: n draws of

@@ -45,6 +45,7 @@ type AccessStats struct {
 	Evictions    uint64 // blocks evicted from the L3 entirely
 	Writebacks   uint64 // dirty evictions sent to memory
 	SpillsOut    uint64 // cooperative only: blocks spilled to a neighbor
+	Demotions    uint64 // adaptive only: private-LRU blocks demoted to shared
 	TotalLatency uint64 // sum of access latencies (for mean latency)
 }
 
@@ -75,6 +76,7 @@ func (s *AccessStats) add(o AccessStats) {
 	s.Evictions += o.Evictions
 	s.Writebacks += o.Writebacks
 	s.SpillsOut += o.SpillsOut
+	s.Demotions += o.Demotions
 	s.TotalLatency += o.TotalLatency
 }
 

@@ -14,6 +14,8 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"nucasim/internal/bpred"
 	"nucasim/internal/core"
@@ -23,6 +25,7 @@ import (
 	"nucasim/internal/llc"
 	"nucasim/internal/rng"
 	"nucasim/internal/stats"
+	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
 )
 
@@ -74,6 +77,13 @@ type Config struct {
 	DisableProtection bool
 	DisableAdaptation bool
 
+	// Telemetry, if non-nil, enables the observability subsystem for the
+	// run: the adaptive scheme's repartitioning evaluations are sampled
+	// into an epoch ring (returned in Result.Epochs) and, when
+	// Telemetry.TraceWriter is set, sharing-engine events stream to it as
+	// JSON Lines. Nil (the default) adds no work to the hot paths.
+	Telemetry *telemetry.Config
+
 	CPU cpu.Config
 }
 
@@ -122,6 +132,21 @@ type Result struct {
 	PartitionLimits []int
 	// Repartitions counts applied limit transfers (adaptive only).
 	Repartitions uint64
+	// Evaluations counts repartitioning decisions (adaptive only).
+	Evaluations uint64
+
+	// Epochs is the adaptive scheme's per-evaluation time series, present
+	// when Config.Telemetry was set (bounded by its EpochCapacity;
+	// EpochsDropped counts samples the ring had to shed).
+	Epochs        []telemetry.EpochSample `json:",omitempty"`
+	EpochsDropped uint64
+	// Counters snapshots the telemetry registry (adaptive.shared_swaps,
+	// adaptive.demotions, ...), when telemetry was enabled.
+	Counters map[string]uint64 `json:",omitempty"`
+
+	// Throughput is the simulator's own speed for this run (always
+	// measured; the cost is two clock reads).
+	Throughput telemetry.Throughput
 }
 
 // Machine is an assembled CMP ready to run; exported so examples can
@@ -132,7 +157,8 @@ type Machine struct {
 	Hierarchy *hierarchy.Hierarchy
 	Memory    *dram.Memory
 	Org       llc.Organization
-	Adaptive  *core.Adaptive // nil unless Scheme == SchemeAdaptive
+	Adaptive  *core.Adaptive       // nil unless Scheme == SchemeAdaptive
+	Telemetry *telemetry.Telemetry // nil unless Cfg.Telemetry was set
 
 	now uint64
 }
@@ -191,6 +217,12 @@ func NewMachine(cfg Config, mix []workload.AppParams) *Machine {
 	h := hierarchy.New(hcfg, org)
 
 	m := &Machine{Cfg: cfg, Hierarchy: h, Memory: mem, Org: org, Adaptive: adaptive}
+	if cfg.Telemetry != nil {
+		m.Telemetry = telemetry.New(*cfg.Telemetry)
+		if adaptive != nil {
+			adaptive.SetTelemetry(m.Telemetry)
+		}
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		gen := workload.NewGenerator(mix[i], i, r.Fork(uint64(i)+1))
 		m.Cores = append(m.Cores, cpu.New(i, cfg.CPU, gen, h.Port(i), bpred.New(bpred.Config{})))
@@ -211,6 +243,16 @@ func memCfg(cfg Config, shared bool) dram.Config {
 // Now returns the current simulation cycle.
 func (m *Machine) Now() uint64 { return m.now }
 
+// cyclesSimulated counts timed cycles across every Machine in the
+// process, so batch drivers (cmd/experiments, cmd/sweep) can report
+// simulated-cycles-per-second throughput without threading state through
+// every experiment.
+var cyclesSimulated atomic.Uint64
+
+// CyclesSimulated returns the process-wide count of timed simulation
+// cycles executed so far.
+func CyclesSimulated() uint64 { return cyclesSimulated.Load() }
+
 // Run advances all cores in lockstep for the given number of cycles.
 func (m *Machine) Run(cycles uint64) {
 	end := m.now + cycles
@@ -219,6 +261,7 @@ func (m *Machine) Run(cycles uint64) {
 			c.Step(m.now)
 		}
 	}
+	cyclesSimulated.Add(cycles)
 }
 
 // snapshot captures the counters that the measurement window must be
@@ -263,11 +306,13 @@ func (m *Machine) WarmFunctional(n uint64) {
 func Run(cfg Config, mix []workload.AppParams) Result {
 	cfg = cfg.withDefaults()
 	m := NewMachine(cfg, mix)
+	start := time.Now()
 	m.WarmFunctional(cfg.WarmupInstructions)
 	m.Run(cfg.WarmupCycles)
 	before := m.snap()
 	m.Run(cfg.MeasureCycles)
 	after := m.snap()
+	wall := time.Since(start)
 
 	res := Result{Scheme: cfg.Scheme}
 	for _, p := range mix {
@@ -290,6 +335,17 @@ func Run(cfg Config, mix []workload.AppParams) Result {
 	if m.Adaptive != nil {
 		res.PartitionLimits = m.Adaptive.MaxBlocks()
 		res.Repartitions = m.Adaptive.Repartitions
+		res.Evaluations = m.Adaptive.Evaluations
+	}
+	if m.Telemetry != nil {
+		res.Epochs = m.Telemetry.Epochs.Samples()
+		res.EpochsDropped = m.Telemetry.Epochs.Dropped()
+		res.Counters = m.Telemetry.Registry.Counters()
+		m.Telemetry.Trace.Flush()
+	}
+	res.Throughput = telemetry.Throughput{
+		Wall:      wall,
+		SimCycles: cfg.WarmupCycles + cfg.MeasureCycles,
 	}
 	return res
 }

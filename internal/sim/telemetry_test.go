@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nucasim/internal/telemetry"
+	"nucasim/internal/workload"
+)
+
+func telemetryMix(t *testing.T) []workload.AppParams {
+	t.Helper()
+	var mix []workload.AppParams
+	for _, name := range []string{"ammp", "swim", "lucas", "gzip"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown app %s", name)
+		}
+		mix = append(mix, p)
+	}
+	return mix
+}
+
+// initialLimits is the adaptive scheme's 75 %-private start for a 4-way
+// local cache: 3 blocks per set per core.
+func initialLimits(cores int) []int {
+	limits := make([]int, cores)
+	for i := range limits {
+		limits[i] = 3
+	}
+	return limits
+}
+
+func telemetryConfig(trace *bytes.Buffer) *telemetry.Config {
+	cfg := &telemetry.Config{EpochCapacity: 1 << 16}
+	if trace != nil {
+		cfg.TraceWriter = trace
+	}
+	return cfg
+}
+
+// TestEpochsMatchEvaluations: the epoch sampler records exactly one
+// sample per repartitioning evaluation, numbered 1..N.
+func TestEpochsMatchEvaluations(t *testing.T) {
+	r := Run(Config{
+		Scheme: SchemeAdaptive, Seed: 3,
+		WarmupInstructions: 400_000, MeasureCycles: 200_000,
+		Telemetry: telemetryConfig(nil),
+	}, telemetryMix(t))
+	if r.Evaluations == 0 {
+		t.Fatal("run produced no repartitioning evaluations; enlarge the window")
+	}
+	if uint64(len(r.Epochs)) != r.Evaluations {
+		t.Fatalf("recorded %d epochs for %d evaluations", len(r.Epochs), r.Evaluations)
+	}
+	transfers := uint64(0)
+	for i, e := range r.Epochs {
+		if e.Eval != uint64(i+1) {
+			t.Fatalf("epoch %d has eval %d", i, e.Eval)
+		}
+		if e.Transferred {
+			transfers++
+		}
+		if len(e.Limits) != 4 || len(e.ShadowHits) != 4 || len(e.EpochMisses) != 4 {
+			t.Fatalf("epoch %d has malformed per-core slices: %+v", i, e)
+		}
+		if e.PrivateBlocks < 0 || e.SharedBlocks < 0 {
+			t.Fatalf("epoch %d has negative occupancy", i)
+		}
+	}
+	if transfers != r.Repartitions {
+		t.Fatalf("epochs show %d transfers, Result says %d", transfers, r.Repartitions)
+	}
+	// The final epoch's limits are the final partitioning.
+	if last := r.Epochs[len(r.Epochs)-1].Limits; !reflect.DeepEqual(last, r.PartitionLimits) {
+		t.Fatalf("last epoch limits %v != final limits %v", last, r.PartitionLimits)
+	}
+}
+
+// TestTraceReplayReproducesFinalLimits: folding the JSONL decision
+// events over the initial partitioning reconstructs the simulator's
+// final maxBlocksInSet — the trace is a faithful record of the
+// controller.
+func TestTraceReplayReproducesFinalLimits(t *testing.T) {
+	var trace bytes.Buffer
+	r := Run(Config{
+		Scheme: SchemeAdaptive, Seed: 3,
+		WarmupInstructions: 500_000, MeasureCycles: 300_000,
+		Telemetry: telemetryConfig(&trace),
+	}, telemetryMix(t))
+	if r.Repartitions == 0 {
+		t.Fatal("run applied no transfers; pick a different seed/window")
+	}
+	got, err := telemetry.ReplayLimits(bytes.NewReader(trace.Bytes()), initialLimits(4), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.PartitionLimits) {
+		t.Fatalf("replayed limits %v, simulator finished at %v", got, r.PartitionLimits)
+	}
+}
+
+// TestEpochRingBoundsLongRuns: a small ring drops oldest samples instead
+// of growing, and accounts for every evaluation.
+func TestEpochRingBoundsLongRuns(t *testing.T) {
+	const capacity = 8
+	r := Run(Config{
+		Scheme: SchemeAdaptive, Seed: 3,
+		WarmupInstructions: 400_000, MeasureCycles: 200_000,
+		Telemetry: &telemetry.Config{EpochCapacity: capacity},
+	}, telemetryMix(t))
+	if r.Evaluations <= capacity {
+		t.Fatalf("only %d evaluations; window too small to exercise the bound", r.Evaluations)
+	}
+	if len(r.Epochs) != capacity {
+		t.Fatalf("ring held %d epochs, capacity %d", len(r.Epochs), capacity)
+	}
+	if r.EpochsDropped != r.Evaluations-capacity {
+		t.Fatalf("dropped %d, want %d", r.EpochsDropped, r.Evaluations-capacity)
+	}
+	// The retained window is the most recent one.
+	if last := r.Epochs[capacity-1].Eval; last != r.Evaluations {
+		t.Fatalf("newest retained epoch is eval %d, want %d", last, r.Evaluations)
+	}
+}
+
+// TestTelemetryDoesNotPerturbSimulation: enabling telemetry must be
+// purely observational — same seed, same results.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	cfg := Config{
+		Scheme: SchemeAdaptive, Seed: 11,
+		WarmupInstructions: 300_000, MeasureCycles: 150_000,
+	}
+	plain := Run(cfg, telemetryMix(t))
+	var trace bytes.Buffer
+	cfg.Telemetry = telemetryConfig(&trace)
+	observed := Run(cfg, telemetryMix(t))
+	if !reflect.DeepEqual(plain.PerCoreIPC, observed.PerCoreIPC) {
+		t.Fatalf("telemetry changed IPC: %v vs %v", plain.PerCoreIPC, observed.PerCoreIPC)
+	}
+	if !reflect.DeepEqual(plain.PartitionLimits, observed.PartitionLimits) {
+		t.Fatalf("telemetry changed partitioning: %v vs %v", plain.PartitionLimits, observed.PartitionLimits)
+	}
+	if plain.Repartitions != observed.Repartitions {
+		t.Fatalf("telemetry changed transfers: %d vs %d", plain.Repartitions, observed.Repartitions)
+	}
+	// And the registry counters landed.
+	if observed.Counters["adaptive.demotions"] == 0 {
+		t.Fatal("demotion counter never moved on an adaptive run")
+	}
+	if observed.Counters["adaptive.demotions"] != observed.LLCTotal.Demotions {
+		t.Fatalf("registry says %d demotions, AccessStats says %d",
+			observed.Counters["adaptive.demotions"], observed.LLCTotal.Demotions)
+	}
+}
+
+// TestNonAdaptiveTelemetry: telemetry on a baseline scheme stays empty
+// but harmless.
+func TestNonAdaptiveTelemetry(t *testing.T) {
+	r := Run(Config{
+		Scheme: SchemePrivate, Seed: 1,
+		WarmupInstructions: 200_000, MeasureCycles: 100_000,
+		Telemetry: telemetryConfig(nil),
+	}, telemetryMix(t))
+	if len(r.Epochs) != 0 || r.EpochsDropped != 0 {
+		t.Fatalf("private scheme recorded %d epochs", len(r.Epochs))
+	}
+	if r.Throughput.SimCycles == 0 || r.Throughput.Wall <= 0 {
+		t.Fatalf("throughput not measured: %+v", r.Throughput)
+	}
+}

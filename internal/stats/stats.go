@@ -8,9 +8,13 @@
 package stats
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -93,10 +97,12 @@ func (a *Accumulator) Mean() float64 { return Mean(a.xs) }
 // HarmonicMean returns the harmonic mean of the samples.
 func (a *Accumulator) HarmonicMean() float64 { return HarmonicMean(a.xs) }
 
-// Min returns the smallest sample, or 0 if empty.
-func (a *Accumulator) Min() float64 {
+// Min returns the smallest sample and true, or (0, false) for an empty
+// accumulator — a legitimate 0 sample and "no samples" must be
+// distinguishable.
+func (a *Accumulator) Min() (float64, bool) {
 	if len(a.xs) == 0 {
-		return 0
+		return 0, false
 	}
 	m := a.xs[0]
 	for _, x := range a.xs[1:] {
@@ -104,13 +110,14 @@ func (a *Accumulator) Min() float64 {
 			m = x
 		}
 	}
-	return m
+	return m, true
 }
 
-// Max returns the largest sample, or 0 if empty.
-func (a *Accumulator) Max() float64 {
+// Max returns the largest sample and true, or (0, false) for an empty
+// accumulator.
+func (a *Accumulator) Max() (float64, bool) {
 	if len(a.xs) == 0 {
-		return 0
+		return 0, false
 	}
 	m := a.xs[0]
 	for _, x := range a.xs[1:] {
@@ -118,7 +125,7 @@ func (a *Accumulator) Max() float64 {
 			m = x
 		}
 	}
-	return m
+	return m, true
 }
 
 // Values returns a copy of the collected samples.
@@ -178,6 +185,55 @@ func (t *Table) ColumnMean(col int) float64 {
 		}
 	}
 	return acc.Mean()
+}
+
+// WriteCSV renders the table as CSV: a comment line with the title
+// (prefixed "# "), a header row ("label" + column names), then one row
+// per data row. The machine-readable artifact behind cmd/experiments
+// and cmd/sweep -metrics-out.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"label"}, t.ColNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, r := range t.rows {
+		row = append(row[:0], r.label)
+		for _, v := range r.vals {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the export schema of MarshalJSON.
+type tableJSON struct {
+	Title   string         `json:"title"`
+	Columns []string       `json:"columns"`
+	Rows    []tableRowJSON `json:"rows"`
+}
+
+type tableRowJSON struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON renders the table as
+// {"title": ..., "columns": [...], "rows": [{"label", "values"}, ...]}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Columns: t.ColNames, Rows: []tableRowJSON{}}
+	for _, r := range t.rows {
+		out.Rows = append(out.Rows, tableRowJSON{Label: r.label, Values: r.vals})
+	}
+	return json.Marshal(out)
 }
 
 // String renders the table.

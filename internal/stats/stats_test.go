@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -80,19 +82,33 @@ func TestSpeedupAndPercent(t *testing.T) {
 
 func TestAccumulator(t *testing.T) {
 	var a Accumulator
-	if a.N() != 0 || a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 {
+	if a.N() != 0 || a.Mean() != 0 {
 		t.Fatal("zero Accumulator must report zeros")
+	}
+	if _, ok := a.Min(); ok {
+		t.Fatal("empty Accumulator Min must report ok=false")
+	}
+	if _, ok := a.Max(); ok {
+		t.Fatal("empty Accumulator Max must report ok=false")
 	}
 	for _, v := range []float64{3, 1, 2} {
 		a.Add(v)
 	}
-	if a.N() != 3 || !almost(a.Mean(), 2) || a.Min() != 1 || a.Max() != 3 {
-		t.Fatalf("Accumulator wrong: n=%d mean=%v min=%v max=%v", a.N(), a.Mean(), a.Min(), a.Max())
+	mn, okMin := a.Min()
+	mx, okMax := a.Max()
+	if a.N() != 3 || !almost(a.Mean(), 2) || !okMin || mn != 1 || !okMax || mx != 3 {
+		t.Fatalf("Accumulator wrong: n=%d mean=%v min=%v max=%v", a.N(), a.Mean(), mn, mx)
 	}
 	vals := a.Values()
 	vals[0] = 99
-	if a.Min() == 99 {
+	if mn, _ := a.Min(); mn == 99 {
 		t.Fatal("Values must return a copy")
+	}
+	// A legitimate 0 sample is distinguishable from emptiness.
+	var zeros Accumulator
+	zeros.Add(0)
+	if mn, ok := zeros.Min(); !ok || mn != 0 {
+		t.Fatalf("Min of {0} = (%v, %v), want (0, true)", mn, ok)
 	}
 }
 
@@ -134,5 +150,52 @@ func TestTableRowCopies(t *testing.T) {
 	_, again := tb.Row(0)
 	if again[0] != 5 {
 		t.Fatal("Row must return copies")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("demo table", "ipc", "speedup")
+	tb.AddRow("gzip", 1.5, 1.0)
+	tb.AddRow("mcf", 0.25, 2.0)
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4: %q", len(lines), buf.String())
+	}
+	if lines[0] != "# demo table" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	rows, err := csv.NewReader(strings.NewReader(strings.Join(lines[1:], "\n"))).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if rows[0][0] != "label" || rows[1][0] != "gzip" || rows[2][2] != "2" {
+		t.Fatalf("unexpected CSV cells: %v", rows)
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tb := NewTable("demo", "x")
+	tb.AddRow("a", 1)
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Label  string    `json:"label"`
+			Values []float64 `json:"values"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "demo" || len(got.Rows) != 1 || got.Rows[0].Label != "a" || got.Rows[0].Values[0] != 1 {
+		t.Fatalf("round trip = %+v", got)
 	}
 }

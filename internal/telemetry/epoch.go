@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// EpochSample is the sharing engine's state at one repartitioning
+// evaluation (one "epoch" = RepartitionPeriod LLC misses). Slices are
+// indexed by core. The per-core counters cover the epoch just closed,
+// not the whole run.
+type EpochSample struct {
+	Eval  uint64 `json:"eval"`  // 1-based evaluation number
+	Cycle uint64 `json:"cycle"` // simulation cycle of the decision
+
+	Limits     []int    `json:"limits"`      // maxBlocksInSet after the decision
+	ShadowHits []uint64 `json:"shadow_hits"` // gain counters at decision time
+	LRUHits    []uint64 `json:"lru_hits"`    // loss counters at decision time
+
+	Gainer      int     `json:"gainer"` // core with the best gain
+	Loser       int     `json:"loser"`  // core with the smallest loss
+	Gain        float64 `json:"gain"`   // normalized shadow hits of the gainer
+	Loss        float64 `json:"loss"`   // LRU hits of the loser
+	Transferred bool    `json:"transferred"`
+
+	// Occupancy across all global sets at decision time.
+	PrivateBlocks int `json:"private_blocks"`
+	SharedBlocks  int `json:"shared_blocks"`
+
+	// Per-core LLC activity during the epoch.
+	EpochAccesses []uint64 `json:"epoch_accesses"`
+	EpochMisses   []uint64 `json:"epoch_misses"`
+}
+
+// MissRate returns core c's LLC miss rate over the epoch.
+func (s EpochSample) MissRate(c int) float64 {
+	if c >= len(s.EpochAccesses) || s.EpochAccesses[c] == 0 {
+		return 0
+	}
+	return float64(s.EpochMisses[c]) / float64(s.EpochAccesses[c])
+}
+
+// Ring is a bounded buffer of epoch samples: appends are O(1) and never
+// grow past the capacity fixed at construction; the oldest samples are
+// dropped (and counted) instead. A nil *Ring ignores appends.
+type Ring struct {
+	buf     []EpochSample
+	start   int // index of the oldest sample
+	n       int // samples currently held
+	dropped uint64
+}
+
+// NewRing builds a ring holding at most capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultEpochCapacity
+	}
+	return &Ring{buf: make([]EpochSample, capacity)}
+}
+
+// Append stores s, evicting the oldest sample if the ring is full.
+func (r *Ring) Append(s EpochSample) {
+	if r == nil {
+		return
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Len returns the number of samples held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Cap returns the fixed capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many samples were evicted to stay within capacity.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Samples returns the held samples oldest-first, as a fresh slice.
+func (r *Ring) Samples() []EpochSample {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]EpochSample, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// WriteEpochCSV renders samples as CSV, one row per repartitioning
+// evaluation. Per-core columns are suffixed _0.._N-1; the header derives
+// the core count from the first sample.
+//
+// Columns: eval, cycle, gainer, loser, gain, loss, transferred,
+// private_blocks, shared_blocks, then per core: limit_i, shadow_i,
+// lru_i, acc_i, miss_i, miss_rate_i.
+func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
+	cw := csv.NewWriter(w)
+	if len(samples) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	cores := len(samples[0].Limits)
+	header := []string{"eval", "cycle", "gainer", "loser", "gain", "loss",
+		"transferred", "private_blocks", "shared_blocks"}
+	for _, col := range []string{"limit", "shadow", "lru", "acc", "miss", "miss_rate"} {
+		for c := 0; c < cores; c++ {
+			header = append(header, fmt.Sprintf("%s_%d", col, c))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, s := range samples {
+		row = row[:0]
+		row = append(row,
+			strconv.FormatUint(s.Eval, 10),
+			strconv.FormatUint(s.Cycle, 10),
+			strconv.Itoa(s.Gainer),
+			strconv.Itoa(s.Loser),
+			strconv.FormatFloat(s.Gain, 'g', -1, 64),
+			strconv.FormatFloat(s.Loss, 'g', -1, 64),
+			strconv.FormatBool(s.Transferred),
+			strconv.Itoa(s.PrivateBlocks),
+			strconv.Itoa(s.SharedBlocks),
+		)
+		for c := 0; c < cores; c++ {
+			row = append(row, strconv.Itoa(s.Limits[c]))
+		}
+		for c := 0; c < cores; c++ {
+			row = append(row, strconv.FormatUint(s.ShadowHits[c], 10))
+		}
+		for c := 0; c < cores; c++ {
+			row = append(row, strconv.FormatUint(s.LRUHits[c], 10))
+		}
+		for c := 0; c < cores; c++ {
+			row = append(row, strconv.FormatUint(s.EpochAccesses[c], 10))
+		}
+		for c := 0; c < cores; c++ {
+			row = append(row, strconv.FormatUint(s.EpochMisses[c], 10))
+		}
+		for c := 0; c < cores; c++ {
+			row = append(row, strconv.FormatFloat(s.MissRate(c), 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

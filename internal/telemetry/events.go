@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind enumerates the discrete sharing-engine events the tracer records.
+type Kind uint8
+
+const (
+	// KindRepartition is one controller evaluation (every
+	// RepartitionPeriod LLC misses): winner, loser, counters, outcome.
+	KindRepartition Kind = iota
+	// KindSwap is a hit in the shared partition: the block swaps with
+	// the requester's private LRU (Section 2.3).
+	KindSwap
+	// KindMigrate is a hit in a neighbor's private partition (parallel
+	// mode): the block migrates to the requester.
+	KindMigrate
+	// KindDemote is a private-LRU block demoted into the shared
+	// partition on a fill or swap.
+	KindDemote
+	// KindEvict is a shared-partition block evicted to memory by
+	// Algorithm 1.
+	KindEvict
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"repartition", "swap", "migrate", "demote", "evict"}
+
+// String returns the JSON "type" tag for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Kinds lists every event kind in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// DecisionEvent is the JSONL record of one repartitioning evaluation.
+// Replaying Gainer/Loser for every Transferred event on top of the
+// initial limits reconstructs the final partitioning exactly.
+type DecisionEvent struct {
+	Type        string   `json:"type"` // "repartition"
+	Run         string   `json:"run,omitempty"`
+	Cycle       uint64   `json:"cycle"`
+	Eval        uint64   `json:"eval"`
+	Gainer      int      `json:"gainer"`
+	Loser       int      `json:"loser"`
+	Gain        float64  `json:"gain"`
+	Loss        float64  `json:"loss"`
+	Transferred bool     `json:"transferred"`
+	Limits      []int    `json:"limits"` // after the decision
+	ShadowHits  []uint64 `json:"shadow_hits"`
+	LRUHits     []uint64 `json:"lru_hits"`
+}
+
+// BlockEvent is the JSONL record of one block movement (swap, migrate,
+// demote, or evict).
+type BlockEvent struct {
+	Type  string `json:"type"`
+	Run   string `json:"run,omitempty"`
+	Cycle uint64 `json:"cycle"`
+	Core  int    `json:"core"`  // requesting / acting core
+	Owner int    `json:"owner"` // owner of the moved block
+	Set   int    `json:"set"`   // global set index
+	Dirty bool   `json:"dirty,omitempty"`
+}
+
+// Tracer writes sharing-engine events as JSON Lines with per-kind 1-in-N
+// sampling. A nil *Tracer drops everything; after a write error the
+// tracer goes quiet and reports the first error from Err. Output is
+// buffered; call Flush (or Err, which flushes) before reading the sink.
+type Tracer struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	run     string
+	every   [numKinds]uint64
+	seen    [numKinds]uint64
+	written [numKinds]uint64
+	err     error
+}
+
+// NewTracer builds a tracer over w. sampleEvery overrides the per-kind
+// default rates (see DefaultSampleEvery); a rate of 0 keeps the default.
+func NewTracer(w io.Writer, run string, sampleEvery map[Kind]uint64) *Tracer {
+	bw := bufio.NewWriter(w)
+	t := &Tracer{bw: bw, enc: json.NewEncoder(bw), run: run}
+	for k := Kind(0); k < numKinds; k++ {
+		t.every[k] = DefaultSampleEvery(k)
+		if n, ok := sampleEvery[k]; ok && n > 0 {
+			t.every[k] = n
+		}
+	}
+	return t
+}
+
+// ShouldEmit counts one occurrence of kind k and reports whether it
+// falls on the sampling stride (the first of every N). Callers gate
+// event construction on it so skipped events cost one increment.
+func (t *Tracer) ShouldEmit(k Kind) bool {
+	if t == nil || t.err != nil {
+		return false
+	}
+	t.seen[k]++
+	return (t.seen[k]-1)%t.every[k] == 0
+}
+
+// Decision records a repartitioning evaluation. The limit/counter slices
+// are copied, so callers may reuse their buffers.
+func (t *Tracer) Decision(ev DecisionEvent) {
+	if t == nil || !t.ShouldEmit(KindRepartition) {
+		return
+	}
+	ev.Type = KindRepartition.String()
+	ev.Run = t.run
+	ev.Limits = append([]int(nil), ev.Limits...)
+	ev.ShadowHits = append([]uint64(nil), ev.ShadowHits...)
+	ev.LRUHits = append([]uint64(nil), ev.LRUHits...)
+	t.emit(KindRepartition, ev)
+}
+
+// Block records a block-movement event of the given kind, subject to the
+// kind's sampling rate.
+func (t *Tracer) Block(k Kind, cycle uint64, core, owner, set int, dirty bool) {
+	if t == nil || !t.ShouldEmit(k) {
+		return
+	}
+	t.emit(k, BlockEvent{
+		Type: k.String(), Run: t.run,
+		Cycle: cycle, Core: core, Owner: owner, Set: set, Dirty: dirty,
+	})
+}
+
+func (t *Tracer) emit(k Kind, ev any) {
+	if err := t.enc.Encode(ev); err != nil {
+		t.err = err
+		return
+	}
+	t.written[k]++
+}
+
+// Seen returns how many events of kind k were observed (pre-sampling).
+func (t *Tracer) Seen(k Kind) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seen[k]
+}
+
+// Written returns how many events of kind k were emitted to the sink.
+func (t *Tracer) Written(k Kind) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.written[k]
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err flushes and returns the first error the tracer hit, if any.
+func (t *Tracer) Err() error { return t.Flush() }
+
+// ReplayLimits folds a decision-event stream over the initial per-core
+// limits and returns the final partitioning: each transferred decision
+// moves one block from loser to gainer. Events of other types (or other
+// runs, when run is non-empty) are ignored, so a raw JSONL trace can be
+// fed straight through. This is the consistency check the telemetry
+// tests and the smoke target use: replayed transfers must reproduce the
+// simulator's final maxBlocksInSet.
+func ReplayLimits(r io.Reader, initial []int, run string) ([]int, error) {
+	limits := append([]int(nil), initial...)
+	dec := json.NewDecoder(r)
+	for {
+		var ev DecisionEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: bad trace line: %w", err)
+		}
+		if ev.Type != KindRepartition.String() || !ev.Transferred {
+			continue
+		}
+		if run != "" && ev.Run != run {
+			continue
+		}
+		if ev.Gainer < 0 || ev.Gainer >= len(limits) || ev.Loser < 0 || ev.Loser >= len(limits) {
+			return nil, fmt.Errorf("telemetry: decision eval %d names core out of range", ev.Eval)
+		}
+		limits[ev.Gainer]++
+		limits[ev.Loser]--
+	}
+	return limits, nil
+}

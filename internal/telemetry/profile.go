@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns a
+// stop function that ends profiling and closes the file. With an empty
+// path it is a no-op returning a nil-safe stop.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an allocation profile to path (after a GC, so
+// the numbers reflect live heap). An empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	return nil
+}
+
+// Throughput is the simulator's self-observed speed over one run or one
+// batch: wall-clock time versus simulated cycles.
+type Throughput struct {
+	Wall      time.Duration `json:"wall_ns"`
+	SimCycles uint64        `json:"sim_cycles"`
+}
+
+// CyclesPerSecond returns simulated cycles per wall-clock second.
+func (t Throughput) CyclesPerSecond() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.SimCycles) / t.Wall.Seconds()
+}
+
+// String renders the throughput for human-readable run footers.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.2fs wall, %d simulated cycles, %.2f Mcycles/s",
+		t.Wall.Seconds(), t.SimCycles, t.CyclesPerSecond()/1e6)
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample(eval uint64) EpochSample {
+	return EpochSample{
+		Eval: eval, Cycle: eval * 1000,
+		Limits:     []int{3, 3, 3, 3},
+		ShadowHits: []uint64{1, 2, 3, 4},
+		LRUHits:    []uint64{4, 3, 2, 1},
+		Gainer:     3, Loser: 0, Gain: 4, Loss: 4,
+		PrivateBlocks: 100, SharedBlocks: 28,
+		EpochAccesses: []uint64{10, 10, 10, 20},
+		EpochMisses:   []uint64{1, 2, 3, 4},
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(1); i <= 10; i++ {
+		r.Append(sample(i))
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", r.Len(), r.Cap())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", r.Dropped())
+	}
+	got := r.Samples()
+	for i, s := range got {
+		if want := uint64(7 + i); s.Eval != want {
+			t.Fatalf("sample %d has eval %d, want %d", i, s.Eval, want)
+		}
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Append(sample(1)) // must not panic
+	if r.Len() != 0 || r.Dropped() != 0 || r.Samples() != nil || r.Cap() != 0 {
+		t.Fatal("nil ring should report empty")
+	}
+}
+
+func TestNilTelemetryNoOps(t *testing.T) {
+	var tel *Telemetry
+	if tel.Enabled() {
+		t.Fatal("nil telemetry reports enabled")
+	}
+	tel.RecordEpoch(sample(1)) // must not panic
+
+	var tr *Tracer
+	if tr.ShouldEmit(KindSwap) {
+		t.Fatal("nil tracer wants events")
+	}
+	tr.Decision(DecisionEvent{})
+	tr.Block(KindEvict, 0, 0, 0, 0, false)
+	if tr.Err() != nil || tr.Seen(KindEvict) != 0 || tr.Written(KindEvict) != 0 {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	c := r.Counter("llc.demotions")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("llc.demotions") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("partition.shared")
+	g.Set(5)
+	g.Add(-2)
+	if c.Value() != 3 || g.Value() != 3 {
+		t.Fatalf("counter=%d gauge=%d, want 3/3", c.Value(), g.Value())
+	}
+	if got := r.Counters()["llc.demotions"]; got != 3 {
+		t.Fatalf("snapshot counter = %d", got)
+	}
+	if got := r.Gauges()["partition.shared"]; got != 3 {
+		t.Fatalf("snapshot gauge = %d", got)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "llc.demotions" {
+		t.Fatalf("names = %v", names)
+	}
+
+	var nilReg *Registry
+	nilReg.Counter("x").Inc() // nil-safe chain
+	nilReg.Gauge("y").Set(1)
+	if nilReg.Counters() != nil || nilReg.Gauges() != nil {
+		t.Fatal("nil registry should snapshot nil")
+	}
+}
+
+func TestTracerSamplingAndJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "run1", map[Kind]uint64{KindDemote: 4})
+	for i := 0; i < 10; i++ {
+		tr.Block(KindDemote, uint64(i), 1, 2, 7, i%2 == 0)
+	}
+	tr.Decision(DecisionEvent{Cycle: 99, Eval: 1, Gainer: 2, Loser: 0,
+		Transferred: true, Limits: []int{2, 3, 4, 3}})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seen(KindDemote) != 10 || tr.Written(KindDemote) != 3 {
+		t.Fatalf("demotes seen=%d written=%d, want 10/3 (1-in-4)", tr.Seen(KindDemote), tr.Written(KindDemote))
+	}
+	if tr.Written(KindRepartition) != 1 {
+		t.Fatalf("decision written=%d, want 1", tr.Written(KindRepartition))
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("trace has %d lines, want 4", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if m["run"] != "run1" {
+			t.Fatalf("line %q missing run label", line)
+		}
+	}
+	var last map[string]any
+	json.Unmarshal([]byte(lines[3]), &last)
+	if last["type"] != "repartition" || last["transferred"] != true {
+		t.Fatalf("last line = %v, want the decision event", last)
+	}
+}
+
+func TestTracerDecisionCopiesSlices(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "", nil)
+	limits := []int{3, 3}
+	tr.Decision(DecisionEvent{Limits: limits, ShadowHits: []uint64{1, 1}, LRUHits: []uint64{2, 2}})
+	limits[0] = 99 // caller reuses its buffer; the event must be unaffected
+	tr.Flush()
+	var ev DecisionEvent
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Limits[0] != 3 {
+		t.Fatalf("event limits aliased the caller's slice: %v", ev.Limits)
+	}
+}
+
+func TestReplayLimits(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "a", nil)
+	// Interleave noise (block events, another run, non-transfers).
+	tr.Block(KindEvict, 5, 0, 1, 3, true)
+	tr.Decision(DecisionEvent{Eval: 1, Gainer: 2, Loser: 0, Transferred: true})
+	tr.Decision(DecisionEvent{Eval: 2, Gainer: 1, Loser: 3, Transferred: false})
+	tr.Decision(DecisionEvent{Eval: 3, Gainer: 2, Loser: 1, Transferred: true})
+	tr.Flush()
+	other := NewTracer(&buf, "b", nil)
+	other.Decision(DecisionEvent{Eval: 1, Gainer: 0, Loser: 2, Transferred: true})
+	other.Flush()
+
+	got, err := ReplayLimits(bytes.NewReader(buf.Bytes()), []int{3, 3, 3, 3}, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed limits = %v, want %v", got, want)
+		}
+	}
+	// Empty run filter folds every decision in the file.
+	got, err = ReplayLimits(bytes.NewReader(buf.Bytes()), []int{3, 3, 3, 3}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[2] != 4 {
+		t.Fatalf("unfiltered replay = %v", got)
+	}
+}
+
+func TestWriteEpochCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEpochCSV(&buf, []EpochSample{sample(1), sample(2)}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV has %d rows, want header + 2", len(rows))
+	}
+	wantCols := 9 + 6*4
+	if len(rows[0]) != wantCols || len(rows[1]) != wantCols {
+		t.Fatalf("CSV has %d cols, want %d", len(rows[0]), wantCols)
+	}
+	if rows[0][0] != "eval" || rows[1][0] != "1" || rows[2][0] != "2" {
+		t.Fatalf("unexpected leading cells: %v %v %v", rows[0][0], rows[1][0], rows[2][0])
+	}
+	// Empty input: header-less empty output, still no error.
+	var empty bytes.Buffer
+	if err := WriteEpochCSV(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty sample set wrote %q", empty.String())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Wall: 2e9, SimCycles: 4_000_000}
+	if got := tp.CyclesPerSecond(); got != 2_000_000 {
+		t.Fatalf("cycles/s = %v", got)
+	}
+	if s := tp.String(); !strings.Contains(s, "Mcycles/s") {
+		t.Fatalf("String() = %q", s)
+	}
+	if (Throughput{}).CyclesPerSecond() != 0 {
+		t.Fatal("zero throughput should be 0")
+	}
+}

@@ -1,0 +1,126 @@
+// Command artifactcheck validates the telemetry artifacts a run emits:
+// the epoch CSV must parse with a well-formed header and at least one
+// evaluation row, and the JSONL trace must parse line by line with
+// known event types and replayable repartition decisions. Used by
+// `make smoke` / CI; exits non-zero with a diagnostic on any violation.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nucasim/internal/telemetry"
+)
+
+func main() {
+	metrics := flag.String("metrics", "", "epoch CSV to validate")
+	trace := flag.String("trace", "", "JSONL event trace to validate")
+	flag.Parse()
+
+	if *metrics != "" {
+		if err := checkMetrics(*metrics); err != nil {
+			fatal("metrics %s: %v", *metrics, err)
+		}
+	}
+	if *trace != "" {
+		if err := checkTrace(*trace); err != nil {
+			fatal("trace %s: %v", *trace, err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "artifactcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.Comment = '#'
+	rows, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(rows) < 2 {
+		return fmt.Errorf("want a header and at least one evaluation row, got %d rows", len(rows))
+	}
+	head := rows[0]
+	col := map[string]int{}
+	for i, name := range head {
+		col[name] = i
+	}
+	for _, want := range []string{"eval", "cycle", "gainer", "loser", "transferred", "limit_0", "miss_rate_0"} {
+		if _, ok := col[want]; !ok {
+			return fmt.Errorf("header lacks column %q: %v", want, head)
+		}
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(head) {
+			return fmt.Errorf("row %d has %d fields, header has %d", i+1, len(row), len(head))
+		}
+		eval, err := strconv.ParseUint(row[col["eval"]], 10, 64)
+		if err != nil {
+			return fmt.Errorf("row %d eval: %v", i+1, err)
+		}
+		if eval != uint64(i+1) {
+			return fmt.Errorf("row %d has eval %d; rows must be consecutive from 1", i+1, eval)
+		}
+	}
+	return nil
+}
+
+func checkTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	kinds := map[string]bool{}
+	for _, k := range telemetry.Kinds() {
+		kinds[k.String()] = true
+	}
+	line := 0
+	for dec.More() {
+		line++
+		var e struct {
+			Type string `json:"type"`
+		}
+		if err := dec.Decode(&e); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if !kinds[e.Type] {
+			return fmt.Errorf("line %d: unknown event type %q (known: %s)",
+				line, e.Type, strings.Join(kindNames(), ", "))
+		}
+	}
+	if line == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	// The decisions must replay cleanly over the paper's initial limits.
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	if _, err := telemetry.ReplayLimits(f, []int{3, 3, 3, 3}, ""); err != nil {
+		return fmt.Errorf("replay: %v", err)
+	}
+	return nil
+}
+
+func kindNames() []string {
+	var names []string
+	for _, k := range telemetry.Kinds() {
+		names = append(names, k.String())
+	}
+	return names
+}
