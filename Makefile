@@ -1,10 +1,11 @@
 # nucasim build/verify entry points. `make ci` is what the GitHub
-# workflow runs: vet, build, race-enabled tests, and a smoke run that
-# checks the telemetry artifacts actually parse.
+# workflow runs: vet, build, race-enabled tests, a smoke run that checks
+# the telemetry artifacts actually parse, the replay self-verify
+# cross-check, and a diff against the pinned golden baseline.
 
 GO ?= go
 
-.PHONY: all build vet test race bench smoke ci clean
+.PHONY: all build vet test race bench smoke replay-verify golden golden-check ci clean
 
 all: build
 
@@ -34,7 +35,28 @@ smoke: build
 		-metrics /tmp/nucasim-smoke.csv -trace /tmp/nucasim-smoke.jsonl
 	@echo smoke ok
 
-ci: vet build race smoke
+# Cross-check trace-reconstructed cache state against the live cache at
+# every repartition epoch of a pinned mixed-app run (see cmd/nucadbg and
+# internal/replay). Catches tracer/replayer/simulator divergence.
+replay-verify: build
+	$(GO) run ./internal/tools/artifactcheck -selfverify
+
+# Regenerate the pinned-seed regression baseline. Run this (and commit
+# the result) only when a behaviour change is intended.
+golden: build
+	$(GO) run ./internal/tools/golden
+
+# Regenerate the baseline into a scratch dir and diff against the
+# committed one: any difference is an unintended behaviour change.
+golden-check: build
+	rm -rf /tmp/nucasim-golden
+	$(GO) run ./internal/tools/golden -out /tmp/nucasim-golden
+	diff -u testdata/golden/epoch.csv /tmp/nucasim-golden/epoch.csv
+	diff -u testdata/golden/limits.json /tmp/nucasim-golden/limits.json
+	@echo golden ok
+
+ci: vet build race smoke replay-verify golden-check
 
 clean:
 	rm -f /tmp/nucasim-smoke.csv /tmp/nucasim-smoke.jsonl /tmp/nucasim-smoke.txt
+	rm -rf /tmp/nucasim-golden

@@ -1,0 +1,315 @@
+// Command nucadbg is a cache-state replay debugger: it loads a JSONL
+// telemetry trace (nucasim -trace-out, ideally with -full-trace) and
+// answers debugger-style questions about the adaptive scheme's
+// partitioning dynamics without re-running the simulation.
+//
+// Usage:
+//
+//	nucadbg -trace t.jsonl [global flags] <command> [command flags]
+//
+// Commands:
+//
+//	state [--at <cycle>]     reconstructed limits + occupancy at a cycle
+//	                         (default: end of trace)
+//	set <idx> [--history] [--last N]
+//	                         one set's reconstructed stacks, and
+//	                         optionally the events that produced them
+//	why-evicted <addr>       every eviction of the block holding addr,
+//	                         with the limits and owner counts Algorithm 1
+//	                         saw at that moment
+//	heatmap [--metric m] [--csv out.csv] [--width N]
+//	                         per-set activity as an in-terminal ASCII
+//	                         heatmap and optionally CSV (metrics:
+//	                         occupancy, private, shared, fills, swaps,
+//	                         migrations, demotions, evictions, steals)
+//
+// Global flags: -trace (required), -run (filter multi-run traces),
+// -l3-bytes/-ways (address→set/tag geometry, defaults Table 1),
+// -strict (error on events that do not replay; default lenient so
+// sampled traces still answer activity queries).
+//
+// Example session, chasing why limits latch at [5 5 1 1]:
+//
+//	nucasim -scheme adaptive -apps ammp,swim,lucas,gzip -full-trace -trace-out t.jsonl
+//	nucadbg -trace t.jsonl state
+//	nucadbg -trace t.jsonl heatmap --metric steals
+//	nucadbg -trace t.jsonl set 117 --history --last 20
+//	nucadbg -trace t.jsonl why-evicted 0x1d4a40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"nucasim/internal/memaddr"
+	"nucasim/internal/replay"
+)
+
+func main() {
+	trace := flag.String("trace", "", "JSONL event trace to load (required)")
+	run := flag.String("run", "", "filter events to this run label (multi-run traces)")
+	l3 := flag.Int("l3-bytes", 1<<20, "per-core L3 bytes, for address→set/tag mapping")
+	ways := flag.Int("ways", 4, "local-cache associativity, for geometry and initial limits")
+	strict := flag.Bool("strict", false, "fail on events that do not replay (needs a -full-trace capture)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *trace == "" || flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*trace)
+	if err != nil {
+		fatal("%v", err)
+	}
+	events, err := replay.ReadEvents(f, *run)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(events) == 0 {
+		fatal("trace %s holds no events (run filter %q)", *trace, *run)
+	}
+
+	geom := memaddr.NewGeometry(*l3, *ways)
+	cores, sets := replay.InferGeometry(events)
+	if geom.Sets > sets {
+		sets = geom.Sets // trace may simply never touch the top sets
+	}
+	initial := replay.InitialLimits(cores, *ways)
+
+	newMachine := func() *replay.Machine {
+		m := replay.NewMachine(cores, sets, initial)
+		m.Lenient = !*strict
+		return m
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "state":
+		cmdState(newMachine(), events, args)
+	case "set":
+		cmdSet(newMachine(), events, args)
+	case "why-evicted":
+		cmdWhyEvicted(events, cores, sets, initial, geom, args)
+	case "heatmap":
+		cmdHeatmap(events, cores, sets, initial, args)
+	default:
+		fatal("unknown command %q (state, set, why-evicted, heatmap)", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: nucadbg -trace t.jsonl [flags] <command> [args]
+
+commands:
+  state [--at cycle]                    partitioning + occupancy at a cycle
+  set <idx> [--history] [--last N]      one set's stacks and event history
+  why-evicted <addr>                    eviction forensics for one block
+  heatmap [--metric m] [--csv f] [--width N]   per-set ASCII heatmap / CSV
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nucadbg: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// cmdState replays up to a cycle and summarizes the controller and
+// occupancy state.
+func cmdState(m *replay.Machine, events []replay.Event, args []string) {
+	fs := flag.NewFlagSet("state", flag.ExitOnError)
+	at := fs.Uint64("at", ^uint64(0), "replay events up to and including this cycle (default: whole trace)")
+	fs.Parse(args)
+
+	applied, err := m.ApplyUntil(events, *at)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("replayed %d of %d events (through cycle %d, %d repartition decisions)\n",
+		applied, len(events), m.LastCycle, m.Decisions)
+	fmt.Printf("limits (maxBlocksInSet per core): %v\n", m.Limits())
+
+	var priv, shared int
+	occupied := 0
+	busiestSet, busiest := -1, uint64(0)
+	for i := 0; i < m.NumSets(); i++ {
+		p, s := m.Occupancy(i)
+		for _, n := range p {
+			priv += n
+		}
+		shared += s
+		if s > 0 || sum(p) > 0 {
+			occupied++
+		}
+		st := m.SetStats()[i]
+		if activity := st.Fills + st.Swaps + st.Demotions + st.Evictions; activity > busiest {
+			busiest, busiestSet = activity, i
+		}
+	}
+	fmt.Printf("occupancy: %d private + %d shared blocks across %d/%d occupied sets\n",
+		priv, shared, occupied, m.NumSets())
+	if busiestSet >= 0 {
+		st := m.SetStats()[busiestSet]
+		fmt.Printf("busiest set %d: %d fills, %d swaps, %d demotions, %d evictions (%d steals)\n",
+			busiestSet, st.Fills, st.Swaps, st.Demotions, st.Evictions, st.Steals)
+	}
+}
+
+// cmdSet prints one set's reconstructed stacks and optional history.
+func cmdSet(m *replay.Machine, events []replay.Event, args []string) {
+	if len(args) == 0 {
+		fatal("set: need a set index")
+	}
+	idx, err := strconv.Atoi(args[0])
+	if err != nil {
+		fatal("set: bad index %q", args[0])
+	}
+	fs := flag.NewFlagSet("set", flag.ExitOnError)
+	history := fs.Bool("history", false, "print the events that touched this set")
+	last := fs.Int("last", 50, "with --history, show only the newest N events (0 = all)")
+	fs.Parse(args[1:])
+
+	if idx < 0 || idx >= m.NumSets() {
+		fatal("set %d out of range [0,%d)", idx, m.NumSets())
+	}
+	if err := m.ApplyAll(events); err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("set %d after %d events (limits %v)\n", idx, m.Events, m.Limits())
+	for c := 0; c < m.Cores(); c++ {
+		fmt.Printf("  core %d private (MRU→LRU): %s\n", c, tagList(m.PrivTags(idx, c), nil))
+	}
+	tags, owners := m.SharedStack(idx)
+	fmt.Printf("  shared (MRU→LRU):         %s\n", tagList(tags, owners))
+	counts := m.OwnerCounts(idx)
+	fmt.Printf("  blocks by owner: %v  (limits %v)\n", counts, m.Limits())
+	st := m.SetStats()[idx]
+	fmt.Printf("  activity: %d fills, %d swaps, %d migrations, %d demotions, %d evictions (%d steals)\n",
+		st.Fills, st.Swaps, st.Migrations, st.Demotions, st.Evictions, st.Steals)
+
+	if !*history {
+		return
+	}
+	hist := replay.SetHistory(events, idx, false)
+	shown := hist
+	if *last > 0 && len(shown) > *last {
+		fmt.Printf("history (last %d of %d events):\n", *last, len(hist))
+		shown = shown[len(shown)-*last:]
+	} else {
+		fmt.Printf("history (%d events):\n", len(hist))
+	}
+	for _, ev := range shown {
+		extra := ""
+		if ev.Type == "evict" {
+			if ev.OverLimit {
+				extra = "  over-limit victim"
+			} else {
+				extra = "  global-LRU fallback"
+			}
+		}
+		fmt.Printf("  cycle %-10d %-8s core %d owner %d tag %#-12x depth %d%s\n",
+			ev.Cycle, ev.Type, ev.Core, ev.Owner, ev.Tag, ev.Depth, extra)
+	}
+}
+
+// cmdWhyEvicted explains every eviction of the block holding addr.
+func cmdWhyEvicted(events []replay.Event, cores, sets int, initial []int, geom memaddr.Geometry, args []string) {
+	if len(args) == 0 {
+		fatal("why-evicted: need an address (decimal or 0x hex)")
+	}
+	raw, err := strconv.ParseUint(args[0], 0, 64)
+	if err != nil {
+		fatal("why-evicted: bad address %q: %v", args[0], err)
+	}
+	addr := memaddr.Addr(raw)
+	set, tag := geom.Set(addr), geom.Tag(addr)
+	fmt.Printf("addr %#x → set %d, tag %#x\n", raw, set, tag)
+
+	evs, err := replay.WhyEvicted(events, cores, sets, initial, set, tag)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(evs) == 0 {
+		fmt.Println("no evictions of this block in the trace (still resident, never filled, or events sampled out)")
+		return
+	}
+	for i, e := range evs {
+		fmt.Printf("eviction %d at cycle %d:\n", i+1, e.Cycle)
+		fmt.Printf("  victim owned by core %d, shared-LRU depth %d, dirty=%v\n", e.Owner, e.Depth, e.Dirty)
+		if e.OverLimit {
+			fmt.Printf("  reason: Algorithm 1 step 5 — owner %d held %d blocks, over its limit of %d\n",
+				e.Owner, e.OwnerCounts[e.Owner], e.Limits[e.Owner])
+		} else {
+			fmt.Printf("  reason: Algorithm 1 step 8 — no owner over limit, block was the global shared LRU\n")
+		}
+		fmt.Printf("  forced by core %d filling; limits %v, blocks by owner %v\n",
+			e.Requester, e.Limits, e.OwnerCounts)
+		if e.FilledAt > 0 || e.LastTouch > 0 {
+			fmt.Printf("  lifetime: filled at cycle %d, last touched at cycle %d\n", e.FilledAt, e.LastTouch)
+		}
+	}
+}
+
+// cmdHeatmap renders per-set activity.
+func cmdHeatmap(events []replay.Event, cores, sets int, initial []int, args []string) {
+	fs := flag.NewFlagSet("heatmap", flag.ExitOnError)
+	metric := fs.String("metric", "occupancy", "per-set metric: occupancy|private|shared|fills|swaps|migrations|demotions|evictions|steals")
+	csvOut := fs.String("csv", "", "also write the full per-set table (all metrics) as CSV to this file")
+	width := fs.Int("width", 64, "sets per heatmap row")
+	fs.Parse(args)
+
+	h, err := replay.BuildHeatmap(events, cores, sets, initial)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := h.WriteASCII(os.Stdout, *metric, *width); err != nil {
+		fatal("%v", err)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err == nil {
+			err = h.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("per-set CSV written to %s\n", *csvOut)
+	}
+}
+
+func tagList(tags []uint64, owners []int) string {
+	if len(tags) == 0 {
+		return "(empty)"
+	}
+	out := ""
+	for i, t := range tags {
+		if i > 0 {
+			out += " "
+		}
+		if owners != nil {
+			out += fmt.Sprintf("%#x@%d", t, owners[i])
+		} else {
+			out += fmt.Sprintf("%#x", t)
+		}
+	}
+	return out
+}
+
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -7,6 +7,9 @@
 //
 //	-metrics-out m.csv   epoch time-series (one row per repartition evaluation)
 //	-trace-out t.jsonl   JSONL event trace (decisions, swaps, demotions, evictions)
+//	-full-trace          lossless trace: every fill/hit/swap/migrate/demote/evict
+//	                     with tag and LRU depth — replayable by cmd/nucadbg
+//	-replay-verify       cross-check the trace against the live cache every epoch
 //	-json                full run summary as JSON on stdout instead of text
 //
 // Example:
@@ -43,6 +46,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the epoch time-series as CSV to this file")
 	traceOut := flag.String("trace-out", "", "write the sharing-engine event trace as JSON Lines to this file")
 	traceSample := flag.Uint64("trace-sample", 16, "record 1 in N block events (swap/migrate/demote/evict); decisions are always recorded")
+	fullTrace := flag.Bool("full-trace", false, "record every event of every kind with tag and LRU depth — lossless, replayable by nucadbg (large output)")
+	replayVerify := flag.Bool("replay-verify", false, "adaptive only: cross-check trace-reconstructed cache state against the live cache at every repartition epoch")
 	epochCap := flag.Int("epoch-cap", telemetry.DefaultEpochCapacity, "bound on retained epoch samples (oldest dropped)")
 	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
 	flag.Parse()
@@ -91,12 +96,14 @@ func main() {
 	telcfg := telemetry.Config{
 		EpochCapacity: *epochCap,
 		SampleEvery:   map[telemetry.Kind]uint64{},
+		FullTrace:     *fullTrace,
 	}
 	for _, k := range telemetry.Kinds() {
 		if k != telemetry.KindRepartition {
 			telcfg.SampleEvery[k] = *traceSample
 		}
 	}
+	cfg.ReplayVerify = *replayVerify
 	var traceFile *os.File
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -112,6 +119,23 @@ func main() {
 	}
 
 	r := sim.Run(cfg, mix)
+
+	// A truncated epoch series must not be mistaken for the whole run —
+	// e.g. when a CSV is about to become a regression baseline. The
+	// EpochsDropped field in -json output carries the same signal
+	// machine-readably.
+	if r.EpochsDropped > 0 {
+		fmt.Fprintf(os.Stderr,
+			"nucasim: warning: epoch ring dropped %d of %d evaluations — the epoch CSV/series is truncated; rerun with -epoch-cap >= %d for a complete baseline\n",
+			r.EpochsDropped, r.Evaluations, r.Evaluations)
+	}
+	if *replayVerify {
+		if r.ReplayVerifyError != "" {
+			fmt.Fprintf(os.Stderr, "nucasim: replay self-verify FAILED: %s\n", r.ReplayVerifyError)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nucasim: replay self-verify ok: %d epochs cross-checked\n", r.ReplayEpochsVerified)
+	}
 
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {

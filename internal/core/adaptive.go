@@ -162,6 +162,14 @@ type Adaptive struct {
 	missesSinceRepart int
 	perCore           []llc.AccessStats
 
+	// setStats aggregates sharing-engine activity per global set (fills,
+	// swaps, demotions, evictions, steals). Always maintained: the
+	// increments ride event paths that already do slice surgery, so the
+	// cost is noise. lastSetAgg is the whole-cache sum at the previous
+	// epoch boundary, for per-epoch deltas.
+	setStats   []llc.SetStats
+	lastSetAgg llc.SetStats
+
 	// Repartitions counts limit changes actually applied.
 	Repartitions uint64
 	// Evaluations counts repartitioning decisions (every period).
@@ -204,6 +212,7 @@ func NewAdaptive(cfg Config, mem *dram.Memory) *Adaptive {
 		shadowHits:    make([]uint64, cfg.Cores),
 		lruHits:       make([]uint64, cfg.Cores),
 		perCore:       make([]llc.AccessStats, cfg.Cores),
+		setStats:      make([]llc.SetStats, geom.Sets),
 		countsScratch: make([]int, cfg.Cores),
 		homesScratch:  make([]int, cfg.Cores),
 	}
@@ -290,6 +299,12 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			}
 			blk := priv[i]
 			blk.dirty = blk.dirty || write
+			if a.trace != nil {
+				a.trace.Block(telemetry.KindHit, telemetry.BlockEvent{
+					Cycle: now, Core: coreID, Owner: int(blk.owner), Set: setIdx,
+					Tag: tag, Depth: i, Home: int(blk.home), Dirty: blk.dirty,
+				})
+			}
 			copy(priv[1:i+1], priv[:i])
 			priv[0] = blk
 			st.LocalHits++
@@ -320,7 +335,13 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			// partition; the private LRU block takes its slot and
 			// becomes shared-MRU.
 			a.ctrSwap.Inc()
-			a.trace.Block(telemetry.KindSwap, now, coreID, int(blk.owner), setIdx, blk.dirty)
+			a.setStats[setIdx].Swaps++
+			if a.trace != nil {
+				a.trace.Block(telemetry.KindSwap, telemetry.BlockEvent{
+					Cycle: now, Core: coreID, Owner: int(blk.owner), Set: setIdx,
+					Tag: tag, Depth: i, Home: int(blk.home), Dirty: blk.dirty,
+				})
+			}
 			oldHome := blk.home
 			s.shared = append(s.shared[:i], s.shared[i+1:]...)
 			blk.dirty = blk.dirty || write
@@ -347,7 +368,13 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			// migrate to the requester, like a neighbor-cache hit.
 			blk := op[i]
 			a.ctrMigrate.Inc()
-			a.trace.Block(telemetry.KindMigrate, now, coreID, int(blk.owner), setIdx, blk.dirty)
+			a.setStats[setIdx].Migrations++
+			if a.trace != nil {
+				a.trace.Block(telemetry.KindMigrate, telemetry.BlockEvent{
+					Cycle: now, Core: coreID, Owner: int(blk.owner), Set: setIdx,
+					Tag: tag, Depth: i, Home: int(blk.home), Dirty: blk.dirty,
+				})
+			}
 			s.priv[other] = append(op[:i], op[i+1:]...)
 			st.RemoteHits++
 			lat := uint64(a.cfg.Latencies.RemoteHit)
@@ -373,14 +400,28 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	s.priv[coreID] = prependBlock(s.priv[coreID], blockRec{
 		tag: tag, owner: int16(coreID), home: int16(coreID), dirty: write,
 	})
+	a.setStats[setIdx].Fills++
+	if a.trace != nil {
+		a.trace.Block(telemetry.KindFill, telemetry.BlockEvent{
+			Cycle: now, Core: coreID, Owner: coreID, Set: setIdx,
+			Tag: tag, Depth: 0, Home: coreID, Dirty: write,
+		})
+	}
 	// Lazy repartitioning: drain the private partition down to its
 	// current target (Section 2.5).
 	for len(s.priv[coreID]) > a.privTarget(coreID) {
-		demoted := s.priv[coreID][len(s.priv[coreID])-1]
-		s.priv[coreID] = s.priv[coreID][:len(s.priv[coreID])-1]
+		depth := len(s.priv[coreID]) - 1
+		demoted := s.priv[coreID][depth]
+		s.priv[coreID] = s.priv[coreID][:depth]
 		st.Demotions++
 		a.ctrDemote.Inc()
-		a.trace.Block(telemetry.KindDemote, now, coreID, int(demoted.owner), setIdx, demoted.dirty)
+		a.setStats[setIdx].Demotions++
+		if a.trace != nil {
+			a.trace.Block(telemetry.KindDemote, telemetry.BlockEvent{
+				Cycle: now, Core: coreID, Owner: int(demoted.owner), Set: setIdx,
+				Tag: demoted.tag, Depth: depth, Home: int(demoted.home), Dirty: demoted.dirty,
+			})
+		}
 		s.shared = prependBlock(s.shared, demoted)
 	}
 	// Evict until the global set fits its slots (Algorithm 1).
@@ -402,12 +443,19 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 func (a *Adaptive) adoptIntoPrivate(s *gset, coreID int, blk blockRec, vacatedHome int16, setIdx int, now uint64) {
 	s.priv[coreID] = prependBlock(s.priv[coreID], blk)
 	if len(s.priv[coreID]) > a.privTarget(coreID) {
-		demoted := s.priv[coreID][len(s.priv[coreID])-1]
-		s.priv[coreID] = s.priv[coreID][:len(s.priv[coreID])-1]
+		depth := len(s.priv[coreID]) - 1
+		demoted := s.priv[coreID][depth]
+		s.priv[coreID] = s.priv[coreID][:depth]
 		demoted.home = vacatedHome // physical swap
 		a.perCore[coreID].Demotions++
 		a.ctrDemote.Inc()
-		a.trace.Block(telemetry.KindDemote, now, coreID, int(demoted.owner), setIdx, demoted.dirty)
+		a.setStats[setIdx].Demotions++
+		if a.trace != nil {
+			a.trace.Block(telemetry.KindDemote, telemetry.BlockEvent{
+				Cycle: now, Core: coreID, Owner: int(demoted.owner), Set: setIdx,
+				Tag: demoted.tag, Depth: depth, Home: int(demoted.home), Dirty: demoted.dirty,
+			})
+		}
 		s.shared = prependBlock(s.shared, demoted)
 	}
 	a.rebalanceHomes(s)
@@ -429,12 +477,14 @@ func (a *Adaptive) evictAlgorithm1(setIdx, requester int, s *gset, now uint64) {
 		panic("core: shared partition empty during eviction — invariant broken")
 	}
 	victimIdx := len(s.shared) - 1 // step 8: global LRU fallback
+	overLimit := false
 	if !a.cfg.DisableProtection {
 		s.ownerCounts(a.countsScratch)
 		for i := len(s.shared) - 1; i >= 0; i-- {
 			owner := s.shared[i].owner
 			if a.countsScratch[owner] > a.maxBlocks[owner] {
 				victimIdx = i
+				overLimit = true
 				break
 			}
 		}
@@ -442,7 +492,17 @@ func (a *Adaptive) evictAlgorithm1(setIdx, requester int, s *gset, now uint64) {
 	victim := s.shared[victimIdx]
 	s.shared = append(s.shared[:victimIdx], s.shared[victimIdx+1:]...)
 	a.ctrEvict.Inc()
-	a.trace.Block(telemetry.KindEvict, now, requester, int(victim.owner), setIdx, victim.dirty)
+	a.setStats[setIdx].Evictions++
+	if int(victim.owner) != requester {
+		a.setStats[setIdx].Steals++
+	}
+	if a.trace != nil {
+		a.trace.Block(telemetry.KindEvict, telemetry.BlockEvent{
+			Cycle: now, Core: requester, Owner: int(victim.owner), Set: setIdx,
+			Tag: victim.tag, Depth: victimIdx, Home: int(victim.home),
+			Dirty: victim.dirty, OverLimit: overLimit,
+		})
+	}
 	a.shadow.Record(setIdx, int(victim.owner), victim.tag)
 	ost := &a.perCore[victim.owner]
 	ost.Evictions++
@@ -549,11 +609,13 @@ func (a *Adaptive) repartition(now uint64) {
 // and the slice copies are affordable.
 func (a *Adaptive) observeEpoch(now uint64, gainer, loser int, gain, loss float64, transferred bool) {
 	privBlocks, sharedBlocks := 0, 0
+	var agg llc.SetStats
 	for i := range a.sets {
 		for _, p := range a.sets[i].priv {
 			privBlocks += len(p)
 		}
 		sharedBlocks += len(a.sets[i].shared)
+		agg.Add(a.setStats[i])
 	}
 	s := telemetry.EpochSample{
 		Eval:          a.Evaluations,
@@ -570,7 +632,14 @@ func (a *Adaptive) observeEpoch(now uint64, gainer, loser int, gain, loss float6
 		SharedBlocks:  sharedBlocks,
 		EpochAccesses: make([]uint64, a.cfg.Cores),
 		EpochMisses:   make([]uint64, a.cfg.Cores),
+
+		EpochSwaps:      agg.Swaps - a.lastSetAgg.Swaps,
+		EpochMigrations: agg.Migrations - a.lastSetAgg.Migrations,
+		EpochDemotions:  agg.Demotions - a.lastSetAgg.Demotions,
+		EpochEvictions:  agg.Evictions - a.lastSetAgg.Evictions,
+		EpochSteals:     agg.Steals - a.lastSetAgg.Steals,
 	}
+	a.lastSetAgg = agg
 	for c := range a.perCore {
 		s.EpochAccesses[c] = a.perCore[c].Accesses - a.epochStats[c].Accesses
 		s.EpochMisses[c] = a.perCore[c].Misses - a.epochStats[c].Misses
@@ -668,6 +737,10 @@ func (a *Adaptive) Reset() {
 	for c := range a.epochStats {
 		a.epochStats[c] = llc.AccessStats{}
 	}
+	for i := range a.setStats {
+		a.setStats[i] = llc.SetStats{}
+	}
+	a.lastSetAgg = llc.SetStats{}
 	a.missesSinceRepart = 0
 	a.Repartitions = 0
 	a.Evaluations = 0
@@ -694,6 +767,51 @@ func (a *Adaptive) Probe(addr memaddr.Addr) bool {
 		}
 	}
 	return false
+}
+
+// NumSets returns the number of global sets.
+func (a *Adaptive) NumSets() int { return a.geom.Sets }
+
+// NumCores returns the core count.
+func (a *Adaptive) NumCores() int { return a.cfg.Cores }
+
+// SetStats returns a copy of the per-global-set activity counters.
+func (a *Adaptive) SetStats() []llc.SetStats {
+	out := make([]llc.SetStats, len(a.setStats))
+	copy(out, a.setStats)
+	return out
+}
+
+// SetDump is the replay-comparable content of one global set: per-core
+// private tags and the shared stack's tags and owners, all MRU→LRU.
+// Physical homes and dirty bits are deliberately omitted — they are
+// latency/writeback bookkeeping, not partitioning state, and the replay
+// cross-check (internal/replay) compares everything the sharing engine
+// decides on.
+type SetDump struct {
+	Priv         [][]uint64
+	SharedTags   []uint64
+	SharedOwners []int
+}
+
+// DumpSet captures global set idx for a replay cross-check.
+func (a *Adaptive) DumpSet(idx int) SetDump {
+	s := &a.sets[idx]
+	d := SetDump{Priv: make([][]uint64, a.cfg.Cores)}
+	for c, p := range s.priv {
+		tags := make([]uint64, len(p))
+		for i, b := range p {
+			tags[i] = b.tag
+		}
+		d.Priv[c] = tags
+	}
+	d.SharedTags = make([]uint64, len(s.shared))
+	d.SharedOwners = make([]int, len(s.shared))
+	for i, b := range s.shared {
+		d.SharedTags[i] = b.tag
+		d.SharedOwners[i] = int(b.owner)
+	}
+	return d
 }
 
 // OccupancyOfSet describes one global set for inspection: per-core private

@@ -80,6 +80,29 @@ func (s *AccessStats) add(o AccessStats) {
 	s.TotalLatency += o.TotalLatency
 }
 
+// SetStats aggregates sharing-engine activity within one cache set.
+// Organizations that partition sets (the adaptive scheme) keep one per
+// global set; the slice is the data behind per-set occupancy/contention
+// heatmaps (cmd/nucadbg) and the epoch CSV's activity columns.
+type SetStats struct {
+	Fills      uint64 // blocks installed on a miss
+	Swaps      uint64 // shared-partition hits (Section 2.3 swap)
+	Migrations uint64 // neighbor private-partition hits (parallel mode)
+	Demotions  uint64 // private-LRU blocks pushed into the shared partition
+	Evictions  uint64 // Algorithm 1 victims sent to memory
+	Steals     uint64 // evictions whose victim belonged to another core
+}
+
+// Add accumulates o into s.
+func (s *SetStats) Add(o SetStats) {
+	s.Fills += o.Fills
+	s.Swaps += o.Swaps
+	s.Migrations += o.Migrations
+	s.Demotions += o.Demotions
+	s.Evictions += o.Evictions
+	s.Steals += o.Steals
+}
+
 // Organization is a last-level cache scheme. Implementations are
 // single-threaded, like the whole simulator.
 type Organization interface {

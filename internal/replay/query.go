@@ -1,0 +1,245 @@
+package replay
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Debugger-style queries over a loaded trace (cmd/nucadbg front-ends
+// these; tests pin their schemas).
+
+// SetHistory filters the events touching global set idx, in trace order.
+// Decisions are included when includeDecisions is set (they are global,
+// not per-set, but mark the epoch boundaries between block movements).
+func SetHistory(events []Event, idx int, includeDecisions bool) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.IsDecision() {
+			if includeDecisions {
+				out = append(out, ev)
+			}
+			continue
+		}
+		if ev.Set == idx {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Eviction is one answer to "why was this block evicted": the eviction
+// event plus the controller state the replay held at that moment.
+type Eviction struct {
+	Cycle     uint64
+	Requester int  // core whose fill forced the eviction
+	Owner     int  // core that owned the victim
+	Depth     int  // victim's LRU position in the shared stack
+	Dirty     bool // writeback to memory
+	OverLimit bool // Algorithm 1 step 5 (owner over limit) vs step 8 (global LRU)
+
+	Limits      []int  // per-core maxBlocksInSet at eviction time
+	OwnerCounts []int  // per-core blocks in the set just before the eviction
+	FilledAt    uint64 // cycle the victim was installed (0 if before the trace)
+	LastTouch   uint64 // cycle of the victim's last hit/swap/migrate (0 if never)
+}
+
+// WhyEvicted replays events and collects every eviction of (set, tag),
+// annotated with the reconstructed context: the limits in force, the
+// per-core owner counts Algorithm 1 compared, and the victim's lifetime
+// (fill and last touch). The machine runs lenient so sampled traces
+// still answer, with counts best-effort.
+func WhyEvicted(events []Event, cores, sets int, initial []int, set int, tag uint64) ([]Eviction, error) {
+	if set < 0 || set >= sets {
+		return nil, fmt.Errorf("replay: set %d out of range [0,%d)", set, sets)
+	}
+	m := NewMachine(cores, sets, initial)
+	m.Lenient = true
+	var filledAt, lastTouch uint64
+	var evictions []Eviction
+	for _, ev := range events {
+		if !ev.IsDecision() && ev.Set == set && ev.Tag == tag {
+			switch ev.Type {
+			case "fill":
+				filledAt = ev.Cycle
+				lastTouch = ev.Cycle
+			case "hit", "swap", "migrate":
+				lastTouch = ev.Cycle
+			case "evict":
+				evictions = append(evictions, Eviction{
+					Cycle:     ev.Cycle,
+					Requester: ev.Core,
+					Owner:     ev.Owner,
+					Depth:     ev.Depth,
+					Dirty:     ev.Dirty,
+					OverLimit: ev.OverLimit,
+					Limits:    m.Limits(),
+					// Counts before this eviction is applied.
+					OwnerCounts: m.OwnerCounts(set),
+					FilledAt:    filledAt,
+					LastTouch:   lastTouch,
+				})
+			}
+		}
+		if err := m.Apply(ev); err != nil {
+			return nil, err
+		}
+	}
+	return evictions, nil
+}
+
+// Heatmap is the per-set view of a replayed run: final occupancy split
+// private/shared plus the activity counters, per global set.
+type Heatmap struct {
+	Cores int
+	// Per-set slices, indexed by global set.
+	Private   []int // final private blocks (all cores)
+	Shared    []int // final shared blocks
+	Stats     []SetActivity
+	LastCycle uint64
+}
+
+// SetActivity is one set's counters in the heatmap (mirrors
+// llc.SetStats, flattened for CSV).
+type SetActivity struct {
+	Fills, Swaps, Migrations, Demotions, Evictions, Steals uint64
+}
+
+// BuildHeatmap replays the whole trace (leniently, so sampled traces
+// work — occupancy is then approximate, counters exact per recorded
+// event) and aggregates per-set occupancy and activity.
+func BuildHeatmap(events []Event, cores, sets int, initial []int) (*Heatmap, error) {
+	m := NewMachine(cores, sets, initial)
+	m.Lenient = true
+	if err := m.ApplyAll(events); err != nil {
+		return nil, err
+	}
+	h := &Heatmap{
+		Cores:     cores,
+		Private:   make([]int, sets),
+		Shared:    make([]int, sets),
+		Stats:     make([]SetActivity, sets),
+		LastCycle: m.LastCycle,
+	}
+	for i := 0; i < sets; i++ {
+		priv, shared := m.Occupancy(i)
+		for _, n := range priv {
+			h.Private[i] += n
+		}
+		h.Shared[i] = shared
+		st := m.SetStats()[i]
+		h.Stats[i] = SetActivity{
+			Fills: st.Fills, Swaps: st.Swaps, Migrations: st.Migrations,
+			Demotions: st.Demotions, Evictions: st.Evictions, Steals: st.Steals,
+		}
+	}
+	return h, nil
+}
+
+// Metrics lists the heatmap metrics ASCII/CSV rendering understands.
+func (h *Heatmap) Metrics() []string {
+	return []string{"occupancy", "private", "shared", "fills", "swaps",
+		"migrations", "demotions", "evictions", "steals"}
+}
+
+// Metric returns the per-set values of the named metric.
+func (h *Heatmap) Metric(name string) ([]uint64, error) {
+	out := make([]uint64, len(h.Private))
+	for i := range out {
+		s := h.Stats[i]
+		switch name {
+		case "occupancy":
+			out[i] = uint64(h.Private[i] + h.Shared[i])
+		case "private":
+			out[i] = uint64(h.Private[i])
+		case "shared":
+			out[i] = uint64(h.Shared[i])
+		case "fills":
+			out[i] = s.Fills
+		case "swaps":
+			out[i] = s.Swaps
+		case "migrations":
+			out[i] = s.Migrations
+		case "demotions":
+			out[i] = s.Demotions
+		case "evictions":
+			out[i] = s.Evictions
+		case "steals":
+			out[i] = s.Steals
+		default:
+			return nil, fmt.Errorf("replay: unknown heatmap metric %q (have %v)", name, h.Metrics())
+		}
+	}
+	return out, nil
+}
+
+// WriteCSV emits one row per set: set, occupancy, private, shared,
+// fills, swaps, migrations, demotions, evictions, steals.
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"set", "occupancy", "private", "shared",
+		"fills", "swaps", "migrations", "demotions", "evictions", "steals"}); err != nil {
+		return err
+	}
+	for i := range h.Private {
+		s := h.Stats[i]
+		row := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(h.Private[i] + h.Shared[i]),
+			strconv.Itoa(h.Private[i]),
+			strconv.Itoa(h.Shared[i]),
+			strconv.FormatUint(s.Fills, 10),
+			strconv.FormatUint(s.Swaps, 10),
+			strconv.FormatUint(s.Migrations, 10),
+			strconv.FormatUint(s.Demotions, 10),
+			strconv.FormatUint(s.Evictions, 10),
+			strconv.FormatUint(s.Steals, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// asciiRamp maps normalized intensity to terminal density, dark→bright.
+const asciiRamp = " .:-=+*#%@"
+
+// WriteASCII renders the metric as an in-terminal heatmap: width sets
+// per row, one character per set, intensity linear in value/max. A
+// legend line gives the scale.
+func (h *Heatmap) WriteASCII(w io.Writer, metric string, width int) error {
+	vals, err := h.Metric(metric)
+	if err != nil {
+		return err
+	}
+	if width <= 0 {
+		width = 64
+	}
+	var max uint64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	fmt.Fprintf(w, "%s per set (%d sets, %d per row, max %d; ramp %q)\n",
+		metric, len(vals), width, max, asciiRamp)
+	for row := 0; row < len(vals); row += width {
+		end := row + width
+		if end > len(vals) {
+			end = len(vals)
+		}
+		line := make([]byte, 0, width+8)
+		for _, v := range vals[row:end] {
+			idx := 0
+			if max > 0 {
+				idx = int(v * uint64(len(asciiRamp)-1) / max)
+			}
+			line = append(line, asciiRamp[idx])
+		}
+		fmt.Fprintf(w, "%5d |%s|\n", row, line)
+	}
+	return nil
+}

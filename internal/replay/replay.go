@@ -1,0 +1,415 @@
+// Package replay reconstructs last-level-cache state from a telemetry
+// event trace. A full trace (telemetry.Config.FullTrace) carries every
+// fill, hit, swap, migrate, demote, evict and repartition with block tag
+// and LRU depth, which makes the trace a lossless record: folding the
+// events over an empty cache reproduces, set by set and stack position
+// by stack position, exactly the state the live simulator holds.
+//
+// Three consumers build on that:
+//
+//   - Verifier (verifier.go) sits behind the tracer as an io.Writer and
+//     cross-checks the reconstruction against the live core.Adaptive at
+//     every repartition epoch (sim.Config.ReplayVerify) — the proof that
+//     the trace format is a source of truth, not a lossy sample.
+//   - cmd/nucadbg loads a trace offline and answers debugger queries:
+//     state at a cycle, per-set history, why a block was evicted,
+//     per-set occupancy/steal/demotion heatmaps (query.go).
+//   - Tests replay pinned-seed runs against golden artifacts.
+//
+// Machines are strict by default: an event that names a block the
+// reconstruction does not hold where the event says it is, is an error
+// (it means the trace is sampled, truncated, or the simulator and
+// replayer disagree — the bug this package exists to catch). Lenient
+// mode keeps the per-set activity counters exact on sampled traces
+// where full state reconstruction is impossible.
+package replay
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nucasim/internal/llc"
+)
+
+// Event is the unified JSONL trace record: the superset of
+// telemetry.DecisionEvent and telemetry.BlockEvent fields, discriminated
+// by Type.
+type Event struct {
+	Type  string `json:"type"`
+	Run   string `json:"run"`
+	Cycle uint64 `json:"cycle"`
+
+	// Decision (type "repartition") fields.
+	Eval        uint64  `json:"eval"`
+	Gainer      int     `json:"gainer"`
+	Loser       int     `json:"loser"`
+	Gain        float64 `json:"gain"`
+	Loss        float64 `json:"loss"`
+	Transferred bool    `json:"transferred"`
+	Limits      []int   `json:"limits"`
+
+	// Block-event fields.
+	Core      int    `json:"core"`
+	Owner     int    `json:"owner"`
+	Set       int    `json:"set"`
+	Tag       uint64 `json:"tag"`
+	Depth     int    `json:"depth"`
+	Home      int    `json:"home"`
+	Dirty     bool   `json:"dirty"`
+	OverLimit bool   `json:"over_limit"`
+}
+
+// IsDecision reports whether the event is a repartitioning decision.
+func (e Event) IsDecision() bool { return e.Type == "repartition" }
+
+// ReadEvents parses a whole JSONL trace, keeping only events of the
+// given run ("" keeps every run). Lines must be complete; a truncated
+// final line is an error.
+func ReadEvents(r io.Reader, run string) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("replay: trace line %d: %w", line, err)
+		}
+		if run != "" && ev.Run != run {
+			continue
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// InferGeometry derives (cores, sets) from a trace: the core count from
+// the first decision's limits (falling back to the highest core/owner
+// index), the set count from the highest set index rounded up to a power
+// of two (set indexing is always power-of-two in this simulator).
+func InferGeometry(events []Event) (cores, sets int) {
+	maxCore, maxSet := 0, 0
+	for _, ev := range events {
+		if ev.IsDecision() {
+			if cores == 0 && len(ev.Limits) > 0 {
+				cores = len(ev.Limits)
+			}
+			continue
+		}
+		if ev.Core > maxCore {
+			maxCore = ev.Core
+		}
+		if ev.Owner > maxCore {
+			maxCore = ev.Owner
+		}
+		if ev.Set > maxSet {
+			maxSet = ev.Set
+		}
+	}
+	if cores == 0 {
+		cores = maxCore + 1
+	}
+	sets = 1
+	for sets < maxSet+1 {
+		sets <<= 1
+	}
+	return cores, sets
+}
+
+// InitialLimits returns the paper's 75 %-private starting partition for
+// the given local associativity: max(1, ways*3/4) blocks per set per
+// core — what a full trace of a fresh simulator starts from.
+func InitialLimits(cores, localWays int) []int {
+	initial := localWays * 3 / 4
+	if initial < 1 {
+		initial = 1
+	}
+	limits := make([]int, cores)
+	for i := range limits {
+		limits[i] = initial
+	}
+	return limits
+}
+
+// block is one reconstructed cache block.
+type block struct {
+	tag   uint64
+	owner int
+}
+
+// setState mirrors core.gset: per-core private LRU stacks plus the
+// shared stack, MRU→LRU.
+type setState struct {
+	priv   [][]block
+	shared []block
+}
+
+// Machine folds trace events into reconstructed LLC state: per-set
+// private/shared membership and LRU order, per-core limits, and per-set
+// activity counters.
+type Machine struct {
+	cores  int
+	sets   []setState
+	limits []int
+	stats  []llc.SetStats
+
+	// Lenient tolerates events that do not match the reconstruction
+	// (sampled traces): membership updates are applied best-effort and
+	// never error. Activity counters stay exact either way.
+	Lenient bool
+
+	// Events counts applied events; Decisions counts repartitions;
+	// LastCycle is the cycle of the newest applied event.
+	Events    uint64
+	Decisions uint64
+	LastCycle uint64
+}
+
+// NewMachine builds an empty reconstruction for a cores×sets cache
+// starting from the given per-core limits (copied).
+func NewMachine(cores, sets int, initialLimits []int) *Machine {
+	m := &Machine{
+		cores:  cores,
+		sets:   make([]setState, sets),
+		limits: append([]int(nil), initialLimits...),
+		stats:  make([]llc.SetStats, sets),
+	}
+	for i := range m.sets {
+		m.sets[i].priv = make([][]block, cores)
+	}
+	return m
+}
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return m.cores }
+
+// NumSets returns the set count.
+func (m *Machine) NumSets() int { return len(m.sets) }
+
+// Limits returns a copy of the current per-core maxBlocksInSet.
+func (m *Machine) Limits() []int { return append([]int(nil), m.limits...) }
+
+// SetStats returns the per-set activity counters (shared slice; callers
+// must not mutate).
+func (m *Machine) SetStats() []llc.SetStats { return m.stats }
+
+// Occupancy returns set idx's block counts: per-core private sizes and
+// the shared stack size.
+func (m *Machine) Occupancy(idx int) (priv []int, shared int) {
+	s := &m.sets[idx]
+	priv = make([]int, m.cores)
+	for c, p := range s.priv {
+		priv[c] = len(p)
+	}
+	return priv, len(s.shared)
+}
+
+// OwnerCounts returns how many blocks of set idx each core owns
+// (private + shared) — the quantity Algorithm 1 compares against the
+// limits.
+func (m *Machine) OwnerCounts(idx int) []int {
+	s := &m.sets[idx]
+	counts := make([]int, m.cores)
+	for c, p := range s.priv {
+		counts[c] = len(p)
+	}
+	for _, b := range s.shared {
+		if b.owner >= 0 && b.owner < m.cores {
+			counts[b.owner]++
+		}
+	}
+	return counts
+}
+
+// PrivTags returns core c's private stack of set idx, MRU→LRU.
+func (m *Machine) PrivTags(idx, c int) []uint64 {
+	p := m.sets[idx].priv[c]
+	tags := make([]uint64, len(p))
+	for i, b := range p {
+		tags[i] = b.tag
+	}
+	return tags
+}
+
+// SharedStack returns set idx's shared stack tags and owners, MRU→LRU.
+func (m *Machine) SharedStack(idx int) (tags []uint64, owners []int) {
+	sh := m.sets[idx].shared
+	tags = make([]uint64, len(sh))
+	owners = make([]int, len(sh))
+	for i, b := range sh {
+		tags[i] = b.tag
+		owners[i] = b.owner
+	}
+	return tags, owners
+}
+
+func (m *Machine) badEvent(ev Event, format string, args ...any) error {
+	if m.Lenient {
+		return nil
+	}
+	return fmt.Errorf("replay: %s event at cycle %d (set %d, tag %#x): %s",
+		ev.Type, ev.Cycle, ev.Set, ev.Tag, fmt.Sprintf(format, args...))
+}
+
+// prepend inserts b at the MRU position of stack.
+func prepend(stack []block, b block) []block {
+	stack = append(stack, block{})
+	copy(stack[1:], stack[:len(stack)-1])
+	stack[0] = b
+	return stack
+}
+
+// removeAt drops index i from stack preserving order.
+func removeAt(stack []block, i int) []block {
+	return append(stack[:i], stack[i+1:]...)
+}
+
+// findTag returns the index of tag in stack, or -1.
+func findTag(stack []block, tag uint64) int {
+	for i := range stack {
+		if stack[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// Apply folds one event into the reconstruction. In strict mode (the
+// default) any mismatch between the event and the reconstructed state —
+// a tag missing from the stack it should be in, a depth that does not
+// match, an out-of-range index — is an error.
+func (m *Machine) Apply(ev Event) error {
+	m.Events++
+	if ev.Cycle > m.LastCycle {
+		m.LastCycle = ev.Cycle
+	}
+
+	if ev.IsDecision() {
+		m.Decisions++
+		if len(ev.Limits) != m.cores {
+			return m.badEvent(ev, "decision carries %d limits for %d cores", len(ev.Limits), m.cores)
+		}
+		copy(m.limits, ev.Limits)
+		return nil
+	}
+
+	if ev.Set < 0 || ev.Set >= len(m.sets) {
+		return m.badEvent(ev, "set index out of range [0,%d)", len(m.sets))
+	}
+	if ev.Core < 0 || ev.Core >= m.cores || ev.Owner < 0 || ev.Owner >= m.cores {
+		return m.badEvent(ev, "core %d / owner %d out of range [0,%d)", ev.Core, ev.Owner, m.cores)
+	}
+	s := &m.sets[ev.Set]
+	st := &m.stats[ev.Set]
+
+	switch ev.Type {
+	case "fill":
+		st.Fills++
+		s.priv[ev.Core] = prepend(s.priv[ev.Core], block{tag: ev.Tag, owner: ev.Core})
+
+	case "hit":
+		i := findTag(s.priv[ev.Core], ev.Tag)
+		if i < 0 {
+			return m.badEvent(ev, "not in core %d's private partition", ev.Core)
+		}
+		if i != ev.Depth {
+			return m.badEvent(ev, "found at depth %d, trace says %d", i, ev.Depth)
+		}
+		b := s.priv[ev.Core][i]
+		s.priv[ev.Core] = prepend(removeAt(s.priv[ev.Core], i), b)
+
+	case "swap":
+		st.Swaps++
+		i := findTag(s.shared, ev.Tag)
+		if i < 0 {
+			return m.badEvent(ev, "not in the shared partition")
+		}
+		if i != ev.Depth {
+			return m.badEvent(ev, "found at depth %d, trace says %d", i, ev.Depth)
+		}
+		s.shared = removeAt(s.shared, i)
+		s.priv[ev.Core] = prepend(s.priv[ev.Core], block{tag: ev.Tag, owner: ev.Core})
+
+	case "migrate":
+		st.Migrations++
+		i := findTag(s.priv[ev.Owner], ev.Tag)
+		if i < 0 {
+			return m.badEvent(ev, "not in core %d's private partition", ev.Owner)
+		}
+		if i != ev.Depth {
+			return m.badEvent(ev, "found at depth %d, trace says %d", i, ev.Depth)
+		}
+		s.priv[ev.Owner] = removeAt(s.priv[ev.Owner], i)
+		s.priv[ev.Core] = prepend(s.priv[ev.Core], block{tag: ev.Tag, owner: ev.Core})
+
+	case "demote":
+		st.Demotions++
+		i := findTag(s.priv[ev.Core], ev.Tag)
+		if i < 0 {
+			return m.badEvent(ev, "not in core %d's private partition", ev.Core)
+		}
+		if i != ev.Depth || i != len(s.priv[ev.Core])-1 {
+			return m.badEvent(ev, "demotion from depth %d of %d, trace says %d (must be the LRU slot)",
+				i, len(s.priv[ev.Core]), ev.Depth)
+		}
+		s.priv[ev.Core] = removeAt(s.priv[ev.Core], i)
+		s.shared = prepend(s.shared, block{tag: ev.Tag, owner: ev.Owner})
+
+	case "evict":
+		st.Evictions++
+		if ev.Owner != ev.Core {
+			st.Steals++
+		}
+		i := findTag(s.shared, ev.Tag)
+		if i < 0 {
+			return m.badEvent(ev, "not in the shared partition")
+		}
+		if i != ev.Depth {
+			return m.badEvent(ev, "found at depth %d, trace says %d", i, ev.Depth)
+		}
+		if s.shared[i].owner != ev.Owner {
+			return m.badEvent(ev, "reconstruction says owner %d, trace says %d", s.shared[i].owner, ev.Owner)
+		}
+		s.shared = removeAt(s.shared, i)
+
+	default:
+		return m.badEvent(ev, "unknown event type")
+	}
+	return nil
+}
+
+// ApplyAll folds events in order, stopping at the first error.
+func (m *Machine) ApplyAll(events []Event) error {
+	for _, ev := range events {
+		if err := m.Apply(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyUntil folds events in order while ev.Cycle <= cycle, returning
+// the number applied. Events are cycle-ordered in a trace (one encoder,
+// synchronous emission), so this is "state as of cycle".
+func (m *Machine) ApplyUntil(events []Event, cycle uint64) (int, error) {
+	for i, ev := range events {
+		if ev.Cycle > cycle {
+			return i, nil
+		}
+		if err := m.Apply(ev); err != nil {
+			return i, err
+		}
+	}
+	return len(events), nil
+}

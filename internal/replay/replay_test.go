@@ -1,0 +1,283 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ev builds a block event.
+func ev(typ string, cycle uint64, core, owner, set int, tag uint64, depth int) Event {
+	return Event{Type: typ, Cycle: cycle, Core: core, Owner: owner, Set: set, Tag: tag, Depth: depth}
+}
+
+func decision(cycle, eval uint64, limits ...int) Event {
+	return Event{Type: "repartition", Cycle: cycle, Eval: eval, Limits: limits}
+}
+
+// TestMachineLifecycle walks one block through fill → hit → demote →
+// swap → demote → evict and checks the reconstructed stacks at each
+// step.
+func TestMachineLifecycle(t *testing.T) {
+	m := NewMachine(2, 4, []int{3, 3})
+
+	// Fill three blocks into core 0's private stack of set 2.
+	for i, tag := range []uint64{0xa, 0xb, 0xc} {
+		if err := m.Apply(ev("fill", uint64(i), 0, 0, 2, tag, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.PrivTags(2, 0); len(got) != 3 || got[0] != 0xc || got[2] != 0xa {
+		t.Fatalf("private stack after fills: %#x", got)
+	}
+
+	// Hit the LRU block (0xa at depth 2): moves to MRU.
+	if err := m.Apply(ev("hit", 3, 0, 0, 2, 0xa, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PrivTags(2, 0); got[0] != 0xa {
+		t.Fatalf("hit did not promote to MRU: %#x", got)
+	}
+
+	// Demote the private LRU (0xb now at depth 2) into shared.
+	if err := m.Apply(ev("demote", 4, 0, 0, 2, 0xb, 2)); err != nil {
+		t.Fatal(err)
+	}
+	tags, owners := m.SharedStack(2)
+	if len(tags) != 1 || tags[0] != 0xb || owners[0] != 0 {
+		t.Fatalf("shared stack after demote: %#x %v", tags, owners)
+	}
+
+	// Core 1 hits the shared block: swap into its private partition.
+	if err := m.Apply(ev("swap", 5, 1, 0, 2, 0xb, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PrivTags(2, 1); len(got) != 1 || got[0] != 0xb {
+		t.Fatalf("swap did not land in core 1's private stack: %#x", got)
+	}
+	if tags, _ := m.SharedStack(2); len(tags) != 0 {
+		t.Fatalf("swap left the shared stack non-empty: %#x", tags)
+	}
+
+	// Demote it back (owner now 1) and evict it: core 0 steals the slot.
+	if err := m.Apply(ev("demote", 6, 1, 1, 2, 0xb, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(ev("evict", 7, 0, 1, 2, 0xb, 0)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.SetStats()[2]
+	if st.Fills != 3 || st.Swaps != 1 || st.Demotions != 2 || st.Evictions != 1 || st.Steals != 1 {
+		t.Fatalf("set counters: %+v", st)
+	}
+	if counts := m.OwnerCounts(2); counts[0] != 2 || counts[1] != 0 {
+		t.Fatalf("owner counts: %v", counts)
+	}
+}
+
+// TestMachineStrictErrors: in strict mode, events that disagree with the
+// reconstruction are errors, naming the problem.
+func TestMachineStrictErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{"hit missing block", []Event{ev("hit", 1, 0, 0, 0, 0xdead, 0)}, "not in core 0's private partition"},
+		{"hit wrong depth", []Event{ev("fill", 0, 0, 0, 0, 0xa, 0), ev("hit", 1, 0, 0, 0, 0xa, 3)}, "found at depth 0"},
+		{"evict missing block", []Event{ev("evict", 1, 0, 0, 0, 0xdead, 0)}, "not in the shared partition"},
+		{"demote not LRU", []Event{
+			ev("fill", 0, 0, 0, 0, 0xa, 0), ev("fill", 0, 0, 0, 0, 0xb, 0),
+			ev("demote", 1, 0, 0, 0, 0xb, 0),
+		}, "must be the LRU slot"},
+		{"set out of range", []Event{ev("fill", 0, 0, 0, 99, 0xa, 0)}, "set index out of range"},
+		{"core out of range", []Event{ev("fill", 0, 7, 0, 0, 0xa, 0)}, "out of range"},
+		{"bad limits width", []Event{decision(0, 1, 3, 3, 3)}, "3 limits for 2 cores"},
+		{"unknown type", []Event{ev("teleport", 0, 0, 0, 0, 0xa, 0)}, "unknown event type"},
+	}
+	for _, tc := range cases {
+		m := NewMachine(2, 8, []int{3, 3})
+		err := m.ApplyAll(tc.evs)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMachineLenient: the same mismatches are silently tolerated in
+// lenient mode, and activity counters still advance.
+func TestMachineLenient(t *testing.T) {
+	m := NewMachine(2, 8, []int{3, 3})
+	m.Lenient = true
+	evs := []Event{
+		ev("evict", 1, 0, 1, 0, 0xdead, 0), // never filled (sampled-out fill)
+		ev("hit", 2, 0, 0, 0, 0xbeef, 0),
+		ev("demote", 3, 1, 1, 4, 0xcafe, 0),
+	}
+	if err := m.ApplyAll(evs); err != nil {
+		t.Fatalf("lenient machine errored: %v", err)
+	}
+	if st := m.SetStats()[0]; st.Evictions != 1 || st.Steals != 1 {
+		t.Fatalf("lenient counters did not advance: %+v", st)
+	}
+}
+
+// TestReadEventsAndInfer: JSONL round-trip, run filtering, and geometry
+// inference.
+func TestReadEventsAndInfer(t *testing.T) {
+	trace := `{"type":"fill","run":"a","cycle":1,"core":2,"owner":2,"set":117,"tag":7,"depth":0}
+{"type":"repartition","run":"a","cycle":2,"eval":1,"limits":[3,3,3,3],"transferred":false}
+{"type":"fill","run":"b","cycle":3,"core":0,"owner":0,"set":4000,"tag":9,"depth":0}
+`
+	all, err := ReadEvents(strings.NewReader(trace), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("read %d events, want 3", len(all))
+	}
+	onlyA, err := ReadEvents(strings.NewReader(trace), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyA) != 2 {
+		t.Fatalf("run filter kept %d events, want 2", len(onlyA))
+	}
+	cores, sets := InferGeometry(all)
+	if cores != 4 {
+		t.Fatalf("inferred %d cores, want 4 (from decision limits)", cores)
+	}
+	if sets != 4096 {
+		t.Fatalf("inferred %d sets, want 4096 (next pow2 over 4001)", sets)
+	}
+	if _, err := ReadEvents(strings.NewReader(`{"type":"fill","cycl`), ""); err == nil {
+		t.Fatal("truncated trace parsed cleanly")
+	}
+}
+
+// TestApplyUntil: cycle-bounded replay stops exactly at the boundary.
+func TestApplyUntil(t *testing.T) {
+	m := NewMachine(2, 4, []int{3, 3})
+	evs := []Event{
+		ev("fill", 10, 0, 0, 1, 0xa, 0),
+		decision(20, 1, 4, 2),
+		ev("fill", 30, 1, 1, 1, 0xb, 0),
+	}
+	n, err := m.ApplyUntil(evs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("applied %d events, want 2", n)
+	}
+	if got := m.Limits(); got[0] != 4 || got[1] != 2 {
+		t.Fatalf("limits at cycle 20: %v", got)
+	}
+	if got := m.PrivTags(1, 1); len(got) != 0 {
+		t.Fatalf("future fill applied early: %#x", got)
+	}
+}
+
+// TestWhyEvictedContext: the eviction record carries the limits and
+// owner counts in force at eviction time, not at the end of the trace.
+func TestWhyEvictedContext(t *testing.T) {
+	evs := []Event{
+		ev("fill", 1, 0, 0, 5, 0xa, 0),
+		ev("demote", 2, 0, 0, 5, 0xa, 0),
+		decision(3, 1, 1, 5), // shrink core 0 before the eviction
+		Event{Type: "evict", Cycle: 4, Core: 1, Owner: 0, Set: 5, Tag: 0xa, Depth: 0, OverLimit: true},
+		decision(5, 2, 3, 3), // later state must not leak into the record
+	}
+	got, err := WhyEvicted(evs, 2, 8, []int{3, 3}, 5, 0xa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("found %d evictions, want 1", len(got))
+	}
+	e := got[0]
+	if !e.OverLimit || e.Requester != 1 || e.Owner != 0 {
+		t.Fatalf("eviction record: %+v", e)
+	}
+	if e.Limits[0] != 1 || e.Limits[1] != 5 {
+		t.Fatalf("limits at eviction: %v, want [1 5]", e.Limits)
+	}
+	if e.OwnerCounts[0] != 1 {
+		t.Fatalf("owner counts at eviction: %v, want core 0 holding 1", e.OwnerCounts)
+	}
+	if e.FilledAt != 1 || e.LastTouch != 1 {
+		t.Fatalf("lifetime: filled %d touched %d", e.FilledAt, e.LastTouch)
+	}
+}
+
+// TestHeatmapSchema: the CSV header is the stable contract nucadbg and
+// downstream plots depend on; the ASCII view renders one char per set.
+func TestHeatmapSchema(t *testing.T) {
+	evs := []Event{
+		ev("fill", 1, 0, 0, 0, 0xa, 0),
+		ev("fill", 2, 1, 1, 3, 0xb, 0),
+		ev("demote", 3, 1, 1, 3, 0xb, 0),
+		ev("evict", 4, 0, 1, 3, 0xb, 0),
+	}
+	h, err := BuildHeatmap(evs, 2, 4, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := h.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if want := "set,occupancy,private,shared,fills,swaps,migrations,demotions,evictions,steals"; lines[0] != want {
+		t.Fatalf("heatmap CSV header changed:\n got %s\nwant %s", lines[0], want)
+	}
+	if len(lines) != 1+4 {
+		t.Fatalf("heatmap CSV has %d rows, want header + 4 sets", len(lines))
+	}
+	if !strings.HasPrefix(lines[4], "3,0,0,0,1,0,0,1,1,1") {
+		t.Fatalf("set 3 row: %s", lines[4])
+	}
+
+	var ascii bytes.Buffer
+	if err := h.WriteASCII(&ascii, "fills", 2); err != nil {
+		t.Fatal(err)
+	}
+	out := ascii.String()
+	if !strings.Contains(out, "fills per set") || !strings.Contains(out, "|") {
+		t.Fatalf("ascii heatmap: %q", out)
+	}
+	if _, err := h.Metric("bogus"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+// TestVerifierSplitWrites: the verifier must reassemble JSONL lines that
+// arrive split across Write calls (bufio flush boundaries land
+// mid-line).
+func TestVerifierSplitWrites(t *testing.T) {
+	// Use the Machine via a Verifier-less path: feed a verifier with no
+	// live cache attached is impossible (NewVerifier needs one), so
+	// exercise the line reassembly through a raw Verifier value.
+	v := &Verifier{m: NewMachine(2, 4, []int{3, 3})}
+	line := []byte(`{"type":"fill","cycle":1,"core":0,"owner":0,"set":1,"tag":10,"depth":0}` + "\n")
+	for i := range line { // one byte at a time: worst case
+		if _, err := v.Write(line[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Err() != nil {
+		t.Fatal(v.Err())
+	}
+	if got := v.Machine().PrivTags(1, 0); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("split-write event not applied: %#x", got)
+	}
+	// Garbage after a clean prefix: first error wins, write keeps going.
+	v.Write([]byte("not json\n"))
+	v.Write([]byte(`{"type":"fill","cycle":2,"core":0,"owner":0,"set":1,"tag":11,"depth":0}` + "\n"))
+	if v.Err() == nil {
+		t.Fatal("bad line not reported")
+	}
+	if got := v.Machine().PrivTags(1, 0); len(got) != 1 {
+		t.Fatalf("events after first error were applied: %#x", got)
+	}
+}

@@ -14,6 +14,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"nucasim/internal/dram"
 	"nucasim/internal/hierarchy"
 	"nucasim/internal/llc"
+	"nucasim/internal/replay"
 	"nucasim/internal/rng"
 	"nucasim/internal/stats"
 	"nucasim/internal/telemetry"
@@ -84,6 +86,17 @@ type Config struct {
 	// JSON Lines. Nil (the default) adds no work to the hot paths.
 	Telemetry *telemetry.Config
 
+	// ReplayVerify (adaptive scheme only) forces a full-fidelity event
+	// trace and feeds it, line by line, into an internal/replay state
+	// machine that rebuilds per-set LLC state from the events alone. At
+	// every repartition epoch the reconstruction is compared against the
+	// live cache — every private stack, the shared stack's tags and
+	// owners, and the limits, of every set. Results land in
+	// Result.ReplayEpochsVerified / ReplayVerifyError. If Telemetry is
+	// nil a default instance is created; an existing TraceWriter keeps
+	// receiving the (now full) trace via a tee.
+	ReplayVerify bool
+
 	CPU cpu.Config
 }
 
@@ -144,6 +157,21 @@ type Result struct {
 	// adaptive.demotions, ...), when telemetry was enabled.
 	Counters map[string]uint64 `json:",omitempty"`
 
+	// SetStats is the adaptive scheme's per-global-set activity (fills,
+	// swaps, migrations, demotions, evictions, steals), indexed by set.
+	// Present when telemetry was enabled; the data behind nucadbg's
+	// heatmaps when a run is inspected live rather than from a trace.
+	SetStats []llc.SetStats `json:",omitempty"`
+
+	// ReplayEpochsVerified counts the repartition epochs at which the
+	// Config.ReplayVerify cross-check compared trace-reconstructed state
+	// against the live cache and found them identical.
+	ReplayEpochsVerified uint64 `json:",omitempty"`
+	// ReplayVerifyError is the first divergence the self-verifier hit
+	// ("" = clean). A non-empty value means the trace is NOT a faithful
+	// record of the run — a bug in tracer, replayer, or simulator.
+	ReplayVerifyError string `json:",omitempty"`
+
 	// Throughput is the simulator's own speed for this run (always
 	// measured; the cost is two clock reads).
 	Throughput telemetry.Throughput
@@ -159,6 +187,7 @@ type Machine struct {
 	Org       llc.Organization
 	Adaptive  *core.Adaptive       // nil unless Scheme == SchemeAdaptive
 	Telemetry *telemetry.Telemetry // nil unless Cfg.Telemetry was set
+	Verifier  *replay.Verifier     // nil unless Cfg.ReplayVerify (adaptive)
 
 	now uint64
 }
@@ -217,10 +246,34 @@ func NewMachine(cfg Config, mix []workload.AppParams) *Machine {
 	h := hierarchy.New(hcfg, org)
 
 	m := &Machine{Cfg: cfg, Hierarchy: h, Memory: mem, Org: org, Adaptive: adaptive}
-	if cfg.Telemetry != nil {
-		m.Telemetry = telemetry.New(*cfg.Telemetry)
+	tcfg := cfg.Telemetry
+	if cfg.ReplayVerify && adaptive != nil {
+		// Self-verify needs a lossless trace feeding the replay state
+		// machine; tee to any writer the caller already wanted.
+		var c telemetry.Config
+		if tcfg != nil {
+			c = *tcfg
+		}
+		c.FullTrace = true
+		m.Verifier = replay.NewVerifier(adaptive)
+		if c.TraceWriter != nil {
+			c.TraceWriter = io.MultiWriter(c.TraceWriter, m.Verifier)
+		} else {
+			c.TraceWriter = m.Verifier
+		}
+		tcfg = &c
+	}
+	if tcfg != nil {
+		m.Telemetry = telemetry.New(*tcfg)
 		if adaptive != nil {
 			adaptive.SetTelemetry(m.Telemetry)
+			if m.Verifier != nil {
+				// Flush inside the repartition path so the verifier
+				// sees the decision (and everything before it) while
+				// the live cache still holds exactly that state.
+				tr := m.Telemetry.Trace
+				adaptive.OnRepartition = func([]int, bool) { tr.Flush() }
+			}
 		}
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -341,7 +394,16 @@ func Run(cfg Config, mix []workload.AppParams) Result {
 		res.Epochs = m.Telemetry.Epochs.Samples()
 		res.EpochsDropped = m.Telemetry.Epochs.Dropped()
 		res.Counters = m.Telemetry.Registry.Counters()
+		if m.Adaptive != nil {
+			res.SetStats = m.Adaptive.SetStats()
+		}
 		m.Telemetry.Trace.Flush()
+	}
+	if m.Verifier != nil {
+		res.ReplayEpochsVerified = m.Verifier.EpochsVerified()
+		if err := m.Verifier.Err(); err != nil {
+			res.ReplayVerifyError = err.Error()
+		}
 	}
 	res.Throughput = telemetry.Throughput{
 		Wall:      wall,

@@ -29,6 +29,16 @@ type EpochSample struct {
 	PrivateBlocks int `json:"private_blocks"`
 	SharedBlocks  int `json:"shared_blocks"`
 
+	// Sharing-engine activity during the epoch, summed over all sets
+	// (the per-set breakdown is llc.SetStats via sim.Result.SetStats).
+	EpochSwaps      uint64 `json:"epoch_swaps"`
+	EpochMigrations uint64 `json:"epoch_migrations"`
+	EpochDemotions  uint64 `json:"epoch_demotions"`
+	EpochEvictions  uint64 `json:"epoch_evictions"`
+	// EpochSteals counts evictions whose victim belonged to a core other
+	// than the one filling — capacity taken from a neighbor.
+	EpochSteals uint64 `json:"epoch_steals"`
+
 	// Per-core LLC activity during the epoch.
 	EpochAccesses []uint64 `json:"epoch_accesses"`
 	EpochMisses   []uint64 `json:"epoch_misses"`
@@ -116,8 +126,9 @@ func (r *Ring) Samples() []EpochSample {
 // the core count from the first sample.
 //
 // Columns: eval, cycle, gainer, loser, gain, loss, transferred,
-// private_blocks, shared_blocks, then per core: limit_i, shadow_i,
-// lru_i, acc_i, miss_i, miss_rate_i.
+// private_blocks, shared_blocks, swaps, migrations, demotions,
+// evictions, steals, then per core: limit_i, shadow_i, lru_i, acc_i,
+// miss_i, miss_rate_i.
 func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 	cw := csv.NewWriter(w)
 	if len(samples) == 0 {
@@ -126,7 +137,8 @@ func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 	}
 	cores := len(samples[0].Limits)
 	header := []string{"eval", "cycle", "gainer", "loser", "gain", "loss",
-		"transferred", "private_blocks", "shared_blocks"}
+		"transferred", "private_blocks", "shared_blocks",
+		"swaps", "migrations", "demotions", "evictions", "steals"}
 	for _, col := range []string{"limit", "shadow", "lru", "acc", "miss", "miss_rate"} {
 		for c := 0; c < cores; c++ {
 			header = append(header, fmt.Sprintf("%s_%d", col, c))
@@ -148,6 +160,11 @@ func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 			strconv.FormatBool(s.Transferred),
 			strconv.Itoa(s.PrivateBlocks),
 			strconv.Itoa(s.SharedBlocks),
+			strconv.FormatUint(s.EpochSwaps, 10),
+			strconv.FormatUint(s.EpochMigrations, 10),
+			strconv.FormatUint(s.EpochDemotions, 10),
+			strconv.FormatUint(s.EpochEvictions, 10),
+			strconv.FormatUint(s.EpochSteals, 10),
 		)
 		for c := 0; c < cores; c++ {
 			row = append(row, strconv.Itoa(s.Limits[c]))

@@ -26,11 +26,18 @@ const (
 	// KindEvict is a shared-partition block evicted to memory by
 	// Algorithm 1.
 	KindEvict
+	// KindFill is a miss installing a fresh block at the requester's
+	// private MRU position.
+	KindFill
+	// KindHit is a hit in the requester's own private partition: the
+	// block moves to MRU. Recorded because it reorders the LRU stack —
+	// without it a trace cannot reconstruct per-set state.
+	KindHit
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"repartition", "swap", "migrate", "demote", "evict"}
+var kindNames = [numKinds]string{"repartition", "swap", "migrate", "demote", "evict", "fill", "hit"}
 
 // String returns the JSON "type" tag for the kind.
 func (k Kind) String() string {
@@ -67,8 +74,11 @@ type DecisionEvent struct {
 	LRUHits     []uint64 `json:"lru_hits"`
 }
 
-// BlockEvent is the JSONL record of one block movement (swap, migrate,
-// demote, or evict).
+// BlockEvent is the JSONL record of one block movement or touch (swap,
+// migrate, demote, evict, fill, or hit). Tag and Depth make a full trace
+// (Config.FullTrace) lossless: every event names the exact block and the
+// exact LRU-stack position it acted on, so internal/replay can rebuild —
+// and cross-check — per-set cache state event by event.
 type BlockEvent struct {
 	Type  string `json:"type"`
 	Run   string `json:"run,omitempty"`
@@ -76,13 +86,32 @@ type BlockEvent struct {
 	Core  int    `json:"core"`  // requesting / acting core
 	Owner int    `json:"owner"` // owner of the moved block
 	Set   int    `json:"set"`   // global set index
-	Dirty bool   `json:"dirty,omitempty"`
+	Tag   uint64 `json:"tag"`   // block tag within the set
+	// Depth is the LRU-stack index the event acted on: the hit position
+	// (hit/swap/migrate), the pre-removal index of the demoted or evicted
+	// block, or 0 for a fill (MRU insert).
+	Depth int `json:"depth"`
+	// Home is the local cache physically holding the block when the
+	// event fired (the model's stand-in for a way index: placement is
+	// tracked per local cache, not per way).
+	Home  int  `json:"home"`
+	Dirty bool `json:"dirty,omitempty"`
+	// OverLimit marks an eviction whose victim was chosen because its
+	// owner exceeded maxBlocksInSet (Algorithm 1 step 5); false means
+	// the global-LRU fallback (step 8).
+	OverLimit bool `json:"over_limit,omitempty"`
 }
 
 // Tracer writes sharing-engine events as JSON Lines with per-kind 1-in-N
 // sampling. A nil *Tracer drops everything; after a write error the
 // tracer goes quiet and reports the first error from Err. Output is
 // buffered; call Flush (or Err, which flushes) before reading the sink.
+//
+// Sampling is deterministic: each kind keeps its own stride counter in a
+// fixed array — no map iteration, no wall clock, no randomness — so two
+// identical simulator runs emit byte-identical traces (asserted by
+// TestTraceDeterministic in internal/sim). That guarantee is what makes
+// traces usable as golden regression artifacts.
 type Tracer struct {
 	bw      *bufio.Writer
 	enc     *json.Encoder
@@ -133,15 +162,16 @@ func (t *Tracer) Decision(ev DecisionEvent) {
 }
 
 // Block records a block-movement event of the given kind, subject to the
-// kind's sampling rate.
-func (t *Tracer) Block(k Kind, cycle uint64, core, owner, set int, dirty bool) {
+// kind's sampling rate. ev.Type and ev.Run are overwritten from k and the
+// tracer's run label. Callers on hot paths should guard the call with a
+// nil check of their own so ev is not constructed when tracing is off.
+func (t *Tracer) Block(k Kind, ev BlockEvent) {
 	if t == nil || !t.ShouldEmit(k) {
 		return
 	}
-	t.emit(k, BlockEvent{
-		Type: k.String(), Run: t.run,
-		Cycle: cycle, Core: core, Owner: owner, Set: set, Dirty: dirty,
-	})
+	ev.Type = k.String()
+	ev.Run = t.run
+	t.emit(k, ev)
 }
 
 func (t *Tracer) emit(k Kind, ev any) {

@@ -37,6 +37,14 @@ type Config struct {
 	// kinds use DefaultSampleEvery. KindRepartition should stay at 1:
 	// decision events are what make a trace replayable.
 	SampleEvery map[Kind]uint64
+
+	// FullTrace records every event of every kind (sampleEvery=1 across
+	// the board, overriding SampleEvery). A full trace is lossless: it
+	// carries every fill, hit, swap, migrate, demote and evict with tag
+	// and LRU depth, which is what internal/replay needs to reconstruct
+	// per-set cache state exactly. Expect traces orders of magnitude
+	// larger than the sampled default.
+	FullTrace bool
 }
 
 // DefaultEpochCapacity is the epoch ring size when Config leaves it zero.
@@ -68,7 +76,14 @@ func New(cfg Config) *Telemetry {
 	}
 	t := &Telemetry{Epochs: NewRing(capacity)}
 	if cfg.TraceWriter != nil {
-		t.Trace = NewTracer(cfg.TraceWriter, cfg.Run, cfg.SampleEvery)
+		sampleEvery := cfg.SampleEvery
+		if cfg.FullTrace {
+			sampleEvery = make(map[Kind]uint64, numKinds)
+			for k := Kind(0); k < numKinds; k++ {
+				sampleEvery[k] = 1
+			}
+		}
+		t.Trace = NewTracer(cfg.TraceWriter, cfg.Run, sampleEvery)
 	}
 	return t
 }

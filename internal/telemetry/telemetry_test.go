@@ -60,7 +60,7 @@ func TestNilTelemetryNoOps(t *testing.T) {
 		t.Fatal("nil tracer wants events")
 	}
 	tr.Decision(DecisionEvent{})
-	tr.Block(KindEvict, 0, 0, 0, 0, false)
+	tr.Block(KindEvict, BlockEvent{})
 	if tr.Err() != nil || tr.Seen(KindEvict) != 0 || tr.Written(KindEvict) != 0 {
 		t.Fatal("nil tracer should be inert")
 	}
@@ -102,7 +102,9 @@ func TestTracerSamplingAndJSONL(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTracer(&buf, "run1", map[Kind]uint64{KindDemote: 4})
 	for i := 0; i < 10; i++ {
-		tr.Block(KindDemote, uint64(i), 1, 2, 7, i%2 == 0)
+		tr.Block(KindDemote, BlockEvent{
+			Cycle: uint64(i), Core: 1, Owner: 2, Set: 7, Dirty: i%2 == 0,
+		})
 	}
 	tr.Decision(DecisionEvent{Cycle: 99, Eval: 1, Gainer: 2, Loser: 0,
 		Transferred: true, Limits: []int{2, 3, 4, 3}})
@@ -156,7 +158,7 @@ func TestReplayLimits(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTracer(&buf, "a", nil)
 	// Interleave noise (block events, another run, non-transfers).
-	tr.Block(KindEvict, 5, 0, 1, 3, true)
+	tr.Block(KindEvict, BlockEvent{Cycle: 5, Core: 0, Owner: 1, Set: 3, Dirty: true})
 	tr.Decision(DecisionEvent{Eval: 1, Gainer: 2, Loser: 0, Transferred: true})
 	tr.Decision(DecisionEvent{Eval: 2, Gainer: 1, Loser: 3, Transferred: false})
 	tr.Decision(DecisionEvent{Eval: 3, Gainer: 2, Loser: 1, Transferred: true})
@@ -185,6 +187,67 @@ func TestReplayLimits(t *testing.T) {
 	}
 }
 
+// TestReplayLimitsErrors pins the failure modes of trace ingestion: a
+// malformed or truncated stream must surface an error (never silently
+// return partial limits), an out-of-range core index must be rejected,
+// and a run filter matching nothing must leave the limits untouched.
+func TestReplayLimitsErrors(t *testing.T) {
+	decision := `{"type":"repartition","run":"a","eval":1,"gainer":1,"loser":0,"transferred":true}` + "\n"
+
+	t.Run("truncated line", func(t *testing.T) {
+		in := decision + `{"type":"repartition","run":"a","eval":2,"gai`
+		if _, err := ReplayLimits(strings.NewReader(in), []int{3, 3}, "a"); err == nil {
+			t.Fatal("truncated trace replayed without error")
+		}
+	})
+
+	t.Run("malformed json mid-stream", func(t *testing.T) {
+		in := decision + "{not json}\n" + decision
+		_, err := ReplayLimits(strings.NewReader(in), []int{3, 3}, "a")
+		if err == nil || !strings.Contains(err.Error(), "bad trace line") {
+			t.Fatalf("err = %v, want a bad-trace-line error", err)
+		}
+	})
+
+	t.Run("core index out of range", func(t *testing.T) {
+		in := `{"type":"repartition","run":"a","eval":7,"gainer":9,"loser":0,"transferred":true}` + "\n"
+		_, err := ReplayLimits(strings.NewReader(in), []int{3, 3}, "a")
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v, want an out-of-range error naming the eval", err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "7") {
+			t.Fatalf("err = %v, should identify decision eval 7", err)
+		}
+	})
+
+	t.Run("negative core index", func(t *testing.T) {
+		in := `{"type":"repartition","run":"a","eval":1,"gainer":0,"loser":-1,"transferred":true}` + "\n"
+		if _, err := ReplayLimits(strings.NewReader(in), []int{3, 3}, "a"); err == nil {
+			t.Fatal("negative loser index replayed without error")
+		}
+	})
+
+	t.Run("wrong run filtered out", func(t *testing.T) {
+		got, err := ReplayLimits(strings.NewReader(decision), []int{3, 3}, "other-run")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 3 || got[1] != 3 {
+			t.Fatalf("decisions from run %q leaked through filter: %v", "a", got)
+		}
+	})
+
+	t.Run("empty stream", func(t *testing.T) {
+		got, err := ReplayLimits(strings.NewReader(""), []int{2, 4}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 2 || got[1] != 4 {
+			t.Fatalf("empty trace changed limits: %v", got)
+		}
+	})
+}
+
 func TestWriteEpochCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteEpochCSV(&buf, []EpochSample{sample(1), sample(2)}); err != nil {
@@ -197,7 +260,7 @@ func TestWriteEpochCSV(t *testing.T) {
 	if len(rows) != 3 {
 		t.Fatalf("CSV has %d rows, want header + 2", len(rows))
 	}
-	wantCols := 9 + 6*4
+	wantCols := 14 + 6*4
 	if len(rows[0]) != wantCols || len(rows[1]) != wantCols {
 		t.Fatalf("CSV has %d cols, want %d", len(rows[0]), wantCols)
 	}

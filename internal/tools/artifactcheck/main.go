@@ -1,8 +1,12 @@
 // Command artifactcheck validates the telemetry artifacts a run emits:
 // the epoch CSV must parse with a well-formed header and at least one
 // evaluation row, and the JSONL trace must parse line by line with
-// known event types and replayable repartition decisions. Used by
-// `make smoke` / CI; exits non-zero with a diagnostic on any violation.
+// known event types and replayable repartition decisions. With
+// -selfverify it additionally runs a short pinned-seed mixed-app
+// adaptive simulation in replay-verify mode, cross-checking the
+// trace-reconstructed per-set cache state against the live cache at
+// every repartition epoch. Used by `make smoke` / `make ci`; exits
+// non-zero with a diagnostic on any violation.
 package main
 
 import (
@@ -14,12 +18,15 @@ import (
 	"strconv"
 	"strings"
 
+	"nucasim/internal/sim"
 	"nucasim/internal/telemetry"
+	"nucasim/internal/workload"
 )
 
 func main() {
 	metrics := flag.String("metrics", "", "epoch CSV to validate")
 	trace := flag.String("trace", "", "JSONL event trace to validate")
+	selfverify := flag.Bool("selfverify", false, "run a short adaptive simulation and cross-check replayed vs live cache state every epoch")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -30,6 +37,11 @@ func main() {
 	if *trace != "" {
 		if err := checkTrace(*trace); err != nil {
 			fatal("trace %s: %v", *trace, err)
+		}
+	}
+	if *selfverify {
+		if err := checkSelfVerify(); err != nil {
+			fatal("selfverify: %v", err)
 		}
 	}
 }
@@ -114,6 +126,36 @@ func checkTrace(path string) error {
 	if _, err := telemetry.ReplayLimits(f, []int{3, 3, 3, 3}, ""); err != nil {
 		return fmt.Errorf("replay: %v", err)
 	}
+	return nil
+}
+
+// checkSelfVerify runs the replay self-verifier end to end: a pinned
+// mixed-app adaptive run with a full trace teed into the replay state
+// machine, compared against the live LLC at every repartition epoch.
+// Any divergence — a missed event, a wrong LRU depth, a stale limit —
+// fails the build before it can corrupt a debugging session.
+func checkSelfVerify() error {
+	var mix []workload.AppParams
+	for _, name := range []string{"ammp", "swim", "lucas", "gzip"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("workload %q missing from suite", name)
+		}
+		mix = append(mix, p)
+	}
+	r := sim.Run(sim.Config{
+		Scheme: sim.SchemeAdaptive, Seed: 1,
+		WarmupInstructions: 300_000, MeasureCycles: 150_000,
+		ReplayVerify: true,
+	}, mix)
+	if r.ReplayVerifyError != "" {
+		return fmt.Errorf("replayed cache state diverged from live state: %s", r.ReplayVerifyError)
+	}
+	if r.ReplayEpochsVerified == 0 {
+		return fmt.Errorf("no repartition epochs verified (run too short?)")
+	}
+	fmt.Printf("artifactcheck: selfverify ok — %d epochs cross-checked on %s\n",
+		r.ReplayEpochsVerified, strings.Join(r.Mix, ","))
 	return nil
 }
 

@@ -1,0 +1,126 @@
+// Command golden generates the pinned-seed regression baseline under
+// testdata/golden/: the adaptive scheme's epoch time-series CSV and a
+// JSON summary of the run's deterministic outcomes (final partition
+// limits, evaluation/transfer counts, LLC totals). The simulator is
+// fully deterministic for a fixed seed and mix — TestTraceDeterministic
+// pins that property — so any diff against these files is a behaviour
+// change that must be either fixed or deliberately re-baselined with
+// `make golden`.
+//
+// Only deterministic fields go into the summary: throughput and other
+// wall-clock readings are excluded so the artifacts are byte-stable
+// across machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nucasim/internal/llc"
+	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
+	"nucasim/internal/workload"
+)
+
+// The pinned scenario. Changing any of these constants invalidates the
+// committed baseline — regenerate it in the same commit.
+const (
+	goldenSeed    = 1
+	goldenApps    = "ammp,swim,lucas,gzip"
+	goldenWarmup  = 400_000
+	goldenCycles  = 200_000
+	goldenEpochs  = 1 << 16 // far above the evaluation count: nothing may drop
+	goldenVersion = 1       // bump when the summary schema changes shape
+)
+
+// summary is the deterministic slice of sim.Result that the baseline
+// pins. Fields are value-stable across machines and Go versions.
+type summary struct {
+	Version          int             `json:"version"`
+	Scheme           string          `json:"scheme"`
+	Mix              []string        `json:"mix"`
+	Seed             uint64          `json:"seed"`
+	WarmupInstrs     uint64          `json:"warmup_instrs"`
+	MeasureCycles    uint64          `json:"measure_cycles"`
+	Evaluations      uint64          `json:"evaluations"`
+	Transfers        uint64          `json:"transfers"`
+	PartitionLimits  []int           `json:"partition_limits"`
+	LLC              llc.AccessStats `json:"llc"`
+	MemoryReads      uint64          `json:"memory_reads"`
+	MemoryWritebacks uint64          `json:"memory_writebacks"`
+	ReplayEpochs     uint64          `json:"replay_epochs_verified"`
+}
+
+func main() {
+	out := flag.String("out", "testdata/golden", "directory to write epoch.csv and limits.json into")
+	flag.Parse()
+
+	var mix []workload.AppParams
+	for _, name := range strings.Split(goldenApps, ",") {
+		p, ok := workload.ByName(name)
+		if !ok {
+			fatal("workload %q missing from suite", name)
+		}
+		mix = append(mix, p)
+	}
+
+	r := sim.Run(sim.Config{
+		Scheme: sim.SchemeAdaptive, Seed: goldenSeed,
+		WarmupInstructions: goldenWarmup, MeasureCycles: goldenCycles,
+		Telemetry:    &telemetry.Config{EpochCapacity: goldenEpochs},
+		ReplayVerify: true,
+	}, mix)
+	if r.ReplayVerifyError != "" {
+		fatal("baseline run failed replay self-verify: %s", r.ReplayVerifyError)
+	}
+	if r.EpochsDropped > 0 {
+		fatal("epoch ring dropped %d samples; baseline would be truncated", r.EpochsDropped)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	csvPath := filepath.Join(*out, "epoch.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	err = telemetry.WriteEpochCSV(f, r.Epochs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal("write %s: %v", csvPath, err)
+	}
+
+	s := summary{
+		Version: goldenVersion,
+		Scheme:  string(r.Scheme), Mix: r.Mix, Seed: goldenSeed,
+		WarmupInstrs: goldenWarmup, MeasureCycles: goldenCycles,
+		Evaluations: r.Evaluations, Transfers: r.Repartitions,
+		PartitionLimits: r.PartitionLimits,
+		LLC:             r.LLCTotal,
+		MemoryReads:     r.Memory.Reads, MemoryWritebacks: r.Memory.Writebacks,
+		ReplayEpochs: r.ReplayEpochsVerified,
+	}
+	jsonPath := filepath.Join(*out, "limits.json")
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("golden: wrote %s (%d epochs) and %s (limits %v, %d/%d transfers)\n",
+		csvPath, len(r.Epochs), jsonPath, s.PartitionLimits, s.Transfers, s.Evaluations)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "golden: "+format+"\n", args...)
+	os.Exit(1)
+}
