@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench smoke replay-verify golden golden-check ci clean
+.PHONY: all build vet test race bench smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke ci clean
 
 all: build
 
@@ -55,7 +55,24 @@ golden-check: build
 	diff -u testdata/golden/limits.json /tmp/nucasim-golden/limits.json
 	@echo golden ok
 
-ci: vet build race smoke replay-verify golden-check
+# Detector coverage: corrupt live cache state every way core/faults.go
+# knows and require the invariant checker / replay verifier to object.
+fault-coverage: build
+	$(GO) test -count=1 -v ./internal/faultinject/
+
+# Interrupt-and-resume smoke: stop a pinned run mid-measurement via its
+# checkpoint, resume it, and require bit-identical results.
+resume-smoke: build
+	$(GO) run ./internal/tools/artifactcheck -resumesmoke
+
+# Short fuzz pass over the external-input parsers (JSONL trace, binary
+# address trace). Seed corpora live under */testdata/fuzz/.
+fuzz-smoke: build
+	$(GO) test -run=^$$ -fuzz=FuzzReadEvents -fuzztime=10s ./internal/replay/
+	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/trace/
+
+ci: vet build race smoke replay-verify golden-check fault-coverage resume-smoke fuzz-smoke
 
 clean:
 	rm -f /tmp/nucasim-smoke.csv /tmp/nucasim-smoke.jsonl /tmp/nucasim-smoke.txt

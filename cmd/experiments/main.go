@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"nucasim/internal/atomicio"
 	"nucasim/internal/core"
 	"nucasim/internal/experiment"
 	"nucasim/internal/sim"
@@ -78,6 +79,7 @@ func main() {
 	flag.Uint64Var(&opt.WarmupInstructions, "warmup-instrs", 0, "functional warmup instructions per core (default 1e6)")
 	flag.Uint64Var(&opt.WarmupCycles, "warmup-cycles", 0, "timed warmup cycles (default 1e5)")
 	flag.Uint64Var(&opt.MeasureCycles, "cycles", 0, "measured cycles (default 6e5; paper: 2e8)")
+	flag.BoolVar(&opt.CheckInvariants, "check-invariants", false, "verify adaptive-scheme structural invariants at every repartition epoch (aborts on violation)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON Lines instead of text")
 	metricsOut := flag.String("metrics-out", "", "append every table as CSV to this file")
 	traceOut := flag.String("trace-out", "", "stream adaptive runs' sharing-engine events (JSONL) to this file")
@@ -98,21 +100,21 @@ func main() {
 
 	out := &output{json: *jsonOut}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+		f, err := atomicio.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer f.Commit()
 		out.metrics = f
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		f, err := atomicio.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer f.Commit()
 		opt.TraceWriter = f
 	}
 

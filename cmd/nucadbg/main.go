@@ -43,6 +43,7 @@ import (
 	"os"
 	"strconv"
 
+	"nucasim/internal/atomicio"
 	"nucasim/internal/memaddr"
 	"nucasim/internal/replay"
 )
@@ -274,14 +275,7 @@ func cmdHeatmap(events []replay.Event, cores, sets int, initial []int, args []st
 		fatal("%v", err)
 	}
 	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err == nil {
-			err = h.WriteCSV(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
+		if err := atomicio.WriteFile(*csvOut, h.WriteCSV); err != nil {
 			fatal("%v", err)
 		}
 		fmt.Printf("per-set CSV written to %s\n", *csvOut)

@@ -12,6 +12,15 @@
 //	-replay-verify       cross-check the trace against the live cache every epoch
 //	-json                full run summary as JSON on stdout instead of text
 //
+// Hardening:
+//
+//	-check-invariants    verify the adaptive scheme's structural invariants
+//	                     at every repartition epoch (abort on violation)
+//	-checkpoint c.bin    crash-safe state snapshots: written periodically
+//	                     (-checkpoint-every) and on SIGINT/SIGTERM (exit 3)
+//	-resume c.bin        continue an interrupted run; results are
+//	                     bit-identical to the uninterrupted run
+//
 // Example:
 //
 //	nucasim -scheme adaptive -apps ammp,swim,lucas,lucas -cycles 2000000 \
@@ -21,12 +30,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"nucasim/internal/atomicio"
 	"nucasim/internal/sim"
 	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
@@ -50,6 +65,10 @@ func main() {
 	replayVerify := flag.Bool("replay-verify", false, "adaptive only: cross-check trace-reconstructed cache state against the live cache at every repartition epoch")
 	epochCap := flag.Int("epoch-cap", telemetry.DefaultEpochCapacity, "bound on retained epoch samples (oldest dropped)")
 	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
+	checkInv := flag.Bool("check-invariants", false, "adaptive only: verify structural invariants at every repartition epoch and at the end of the run")
+	checkpoint := flag.String("checkpoint", "", "adaptive only: write a crash-safe state checkpoint to this file periodically and on interruption (SIGINT/SIGTERM)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in measured cycles (default 50000 when -checkpoint is set)")
+	resume := flag.String("resume", "", "continue an interrupted run from this checkpoint file (other run-shape flags are ignored)")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +80,27 @@ func main() {
 			}
 			fmt.Printf("  %s %-8s (%s)\n", mark, p.Name, p.Suite)
 		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *resume != "" {
+		if *replayVerify || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "nucasim: -resume cannot re-attach -trace-out or -replay-verify; a resumed run keeps its epoch series and counters only")
+			os.Exit(2)
+		}
+		r, err := sim.ResumeContext(ctx, *resume)
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "nucasim: interrupted again; checkpoint updated — continue with -resume %s\n", *resume)
+			os.Exit(3)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nucasim:", err)
+			os.Exit(1)
+		}
+		report(r, *metricsOut, *jsonOut)
 		return
 	}
 
@@ -104,9 +144,9 @@ func main() {
 		}
 	}
 	cfg.ReplayVerify = *replayVerify
-	var traceFile *os.File
+	var traceFile *atomicio.File
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		f, err := atomicio.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -117,9 +157,56 @@ func main() {
 	if cfg.Scheme == sim.SchemeAdaptive || *metricsOut != "" || *traceOut != "" || *jsonOut {
 		cfg.Telemetry = &telcfg
 	}
+	cfg.CheckInvariants = *checkInv
+	cfg.CheckpointPath = *checkpoint
+	cfg.CheckpointEvery = *checkpointEvery
 
-	r := sim.Run(cfg, mix)
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nucasim:", err)
+		os.Exit(2)
+	}
 
+	r, err := sim.RunContext(ctx, cfg, mix)
+	if err != nil {
+		// The trace is incomplete; never publish it under the real name.
+		if traceFile != nil {
+			traceFile.Abort()
+		}
+		if errors.Is(err, sim.ErrInterrupted) {
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "nucasim: interrupted; state checkpointed — continue with -resume %s\n", *checkpoint)
+			} else {
+				fmt.Fprintln(os.Stderr, "nucasim: interrupted (no -checkpoint given, state lost)")
+			}
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "nucasim:", err)
+		os.Exit(1)
+	}
+
+	// Publish the trace before any verification exits: the run itself
+	// completed, so the artifact is whole and should survive.
+	if traceFile != nil {
+		if err := traceFile.Commit(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *replayVerify {
+		if r.ReplayVerifyError != "" {
+			fmt.Fprintf(os.Stderr, "nucasim: replay self-verify FAILED: %s\n", r.ReplayVerifyError)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nucasim: replay self-verify ok: %d epochs cross-checked\n", r.ReplayEpochsVerified)
+	}
+
+	report(r, *metricsOut, *jsonOut)
+}
+
+// report emits the run's artifacts and summary; shared by fresh and
+// resumed runs.
+func report(r sim.Result, metricsOut string, jsonOut bool) {
 	// A truncated epoch series must not be mistaken for the whole run —
 	// e.g. when a CSV is about to become a regression baseline. The
 	// EpochsDropped field in -json output carries the same signal
@@ -129,35 +216,18 @@ func main() {
 			"nucasim: warning: epoch ring dropped %d of %d evaluations — the epoch CSV/series is truncated; rerun with -epoch-cap >= %d for a complete baseline\n",
 			r.EpochsDropped, r.Evaluations, r.Evaluations)
 	}
-	if *replayVerify {
-		if r.ReplayVerifyError != "" {
-			fmt.Fprintf(os.Stderr, "nucasim: replay self-verify FAILED: %s\n", r.ReplayVerifyError)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "nucasim: replay self-verify ok: %d epochs cross-checked\n", r.ReplayEpochsVerified)
-	}
 
-	if traceFile != nil {
-		if err := traceFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err == nil {
-			err = telemetry.WriteEpochCSV(f, r.Epochs)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
+	if metricsOut != "" {
+		err := atomicio.WriteFile(metricsOut, func(w io.Writer) error {
+			return telemetry.WriteEpochCSV(w, r.Epochs)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 
-	if *jsonOut {
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
@@ -167,13 +237,13 @@ func main() {
 		return
 	}
 
-	printText(r, mix)
+	printText(r)
 }
 
-func printText(r sim.Result, mix []workload.AppParams) {
+func printText(r sim.Result) {
 	fmt.Printf("scheme: %s   mix: %s\n\n", r.Scheme, strings.Join(r.Mix, " "))
 	fmt.Printf("%-10s %10s %12s %12s %12s\n", "core/app", "IPC", "L3 acc/kc", "L3 miss/kc", "mispredict")
-	for c := range mix {
+	for c := range r.CoreStats {
 		cs := r.CoreStats[c]
 		fmt.Printf("%d %-8s %10.4f %12.3f %12.3f %11.1f%%\n",
 			c, r.Mix[c], r.PerCoreIPC[c], r.LLCAccessesPerKCycle[c], r.LLCMissesPerKCycle[c],

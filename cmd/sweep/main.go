@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"nucasim/internal/atomicio"
 	"nucasim/internal/experiment"
 	"nucasim/internal/sim"
 	"nucasim/internal/stats"
@@ -35,6 +36,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup-instrs", 1_000_000, "functional warmup per core")
 	cycles := flag.Uint64("cycles", 600_000, "measured cycles")
+	flag.BoolVar(&checkInvariants, "check-invariants", false, "verify adaptive-scheme structural invariants at every repartition epoch (aborts on violation)")
 	jsonOut := flag.Bool("json", false, "emit the sweep table as JSON instead of text")
 	metricsOut := flag.String("metrics-out", "", "write the sweep table as CSV to this file")
 	traceOut := flag.String("trace-out", "", "stream adaptive runs' sharing-engine events (JSONL) to this file")
@@ -50,12 +52,12 @@ func main() {
 
 	var trace io.Writer
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		f, err := atomicio.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer f.Commit()
 		trace = f
 	}
 
@@ -91,14 +93,7 @@ func main() {
 		}
 	}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err == nil {
-			err = t.WriteCSV(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
+		if err := atomicio.WriteFile(*metricsOut, t.WriteCSV); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -135,6 +130,10 @@ func mixFrom(csv string) []workload.AppParams {
 	return mix
 }
 
+// checkInvariants mirrors the -check-invariants flag into every adaptive
+// sweep point's sim.Config.
+var checkInvariants bool
+
 // telemetryFor labels one sweep point's adaptive run in a shared trace.
 func telemetryFor(trace io.Writer, label string) *telemetry.Config {
 	if trace == nil {
@@ -157,6 +156,7 @@ func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64, trace 
 			}
 			if s == sim.SchemeAdaptive {
 				cfg.Telemetry = telemetryFor(trace, label)
+				cfg.CheckInvariants = checkInvariants
 			}
 			r := sim.Run(cfg, mix)
 			row = append(row, r.HarmonicIPC)
@@ -176,6 +176,7 @@ func sweepPeriod(mix []workload.AppParams, seed, warmup, cycles uint64, trace io
 			WarmupInstructions: warmup, MeasureCycles: cycles,
 			RepartitionPeriod: period,
 			Telemetry:         telemetryFor(trace, label),
+			CheckInvariants:   checkInvariants,
 		}, mix)
 		t.AddRow(label, r.HarmonicIPC, float64(r.Repartitions), float64(r.Evaluations))
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"nucasim/internal/atomicio"
 	"nucasim/internal/cache"
 	"nucasim/internal/memaddr"
 	"nucasim/internal/rng"
@@ -54,21 +55,25 @@ func doCapture(app string, n uint64, out string, seed uint64) error {
 			return fmt.Errorf("unknown application %q", app)
 		}
 	}
-	f, err := os.Create(out)
+	f, err := atomicio.Create(out)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w, err := trace.NewWriter(f)
 	if err != nil {
+		f.Abort()
 		return err
 	}
 	g := workload.NewGenerator(p, 0, rng.New(seed))
 	refs, err := trace.Capture(g, n, w)
 	if err != nil {
+		f.Abort()
 		return err
 	}
-	info, err := f.Stat()
+	if err := f.Commit(); err != nil {
+		return err
+	}
+	info, err := os.Stat(out)
 	if err != nil {
 		return err
 	}

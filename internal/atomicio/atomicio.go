@@ -1,0 +1,94 @@
+// Package atomicio provides crash-safe file writes: content is staged in
+// a temporary file in the destination's directory and renamed over the
+// target only once every byte is written and synced. A reader therefore
+// never observes a torn or truncated artifact — it sees either the old
+// file or the complete new one — and an interrupted run never destroys
+// the previous version of a CSV, JSONL trace, golden baseline, or
+// checkpoint.
+//
+// Two shapes are offered: WriteFile for artifacts rendered in one shot,
+// and Create/Commit for artifacts streamed during a run (event traces).
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever render writes. The
+// temporary file lives in path's directory so the final rename never
+// crosses filesystems. On any error the temporary file is removed and
+// the previous content of path is left untouched.
+func WriteFile(path string, render func(w io.Writer) error) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// File is an in-progress atomic write. Write bytes, then Commit to
+// publish them under the destination name, or Abort to discard. Exactly
+// one of Commit/Abort should be called; both are idempotent.
+type File struct {
+	tmp  *os.File
+	path string
+	done bool
+}
+
+// Create starts an atomic write targeting path.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: staging %s: %w", path, err)
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write implements io.Writer.
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Name returns the destination path the write targets.
+func (f *File) Name() string { return f.path }
+
+// Commit syncs the staged bytes and renames them over the destination.
+func (f *File) Commit() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	name := f.tmp.Name()
+	if err := f.tmp.Sync(); err != nil {
+		f.tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("atomicio: syncing %s: %w", f.path, err)
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: closing %s: %w", f.path, err)
+	}
+	if err := os.Rename(name, f.path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: publishing %s: %w", f.path, err)
+	}
+	return nil
+}
+
+// Abort discards the staged bytes, leaving any previous destination file
+// untouched.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	name := f.tmp.Name()
+	f.tmp.Close()
+	os.Remove(name)
+}

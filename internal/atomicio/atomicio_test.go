@@ -1,0 +1,108 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("old\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "new\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new\n" {
+		t.Fatalf("content = %q, want %q", got, "new\n")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}
+
+func TestWriteFileErrorPreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("old\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("render failed")
+	err := WriteFile(path, func(w io.Writer) error {
+		fmt.Fprint(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old\n" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}
+
+func TestCreateAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, "half a line")
+	f.Abort()
+	f.Abort() // idempotent
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after abort: %v", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}
+
+func TestCreateCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != path {
+		t.Fatalf("Name() = %q, want %q", f.Name(), path)
+	}
+	fmt.Fprintln(f, "line 1")
+	fmt.Fprintln(f, "line 2")
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "line 1\nline 2\n" {
+		t.Fatalf("content = %q", got)
+	}
+}

@@ -1,0 +1,86 @@
+package bpred
+
+import (
+	"fmt"
+
+	"nucasim/internal/memaddr"
+)
+
+// BTBEntryState mirrors btbEntry with exported fields for serialization.
+type BTBEntryState struct {
+	Tag    uint64
+	Target memaddr.Addr
+	Valid  bool
+}
+
+// State is the serializable mutable state of a Predictor; tables are
+// stored as raw counter bytes. Restore expects a predictor built with
+// the same Config.
+type State struct {
+	Bimodal []uint8
+	Level2  []uint8
+	Chooser []uint8
+	History uint64
+	BTB     [][]BTBEntryState
+	Stats   Stats
+}
+
+// Snapshot captures the predictor's full mutable state.
+func (p *Predictor) Snapshot() State {
+	s := State{
+		Bimodal: counterBytes(p.bimodal),
+		Level2:  counterBytes(p.level2),
+		Chooser: counterBytes(p.chooser),
+		History: p.history,
+		BTB:     make([][]BTBEntryState, len(p.btb)),
+		Stats:   p.Stats,
+	}
+	for i, set := range p.btb {
+		out := make([]BTBEntryState, len(set))
+		for j, e := range set {
+			out[j] = BTBEntryState{Tag: e.tag, Target: e.target, Valid: e.valid}
+		}
+		s.BTB[i] = out
+	}
+	return s
+}
+
+// Restore loads a snapshot taken from an identically configured predictor.
+func (p *Predictor) Restore(s State) error {
+	if len(s.Bimodal) != len(p.bimodal) || len(s.Level2) != len(p.level2) ||
+		len(s.Chooser) != len(p.chooser) || len(s.BTB) != len(p.btb) {
+		return fmt.Errorf("bpred: state tables sized %d/%d/%d/%d, predictor wants %d/%d/%d/%d",
+			len(s.Bimodal), len(s.Level2), len(s.Chooser), len(s.BTB),
+			len(p.bimodal), len(p.level2), len(p.chooser), len(p.btb))
+	}
+	copyCounters(p.bimodal, s.Bimodal)
+	copyCounters(p.level2, s.Level2)
+	copyCounters(p.chooser, s.Chooser)
+	p.history = s.History
+	for i, set := range s.BTB {
+		if len(set) > p.cfg.BTBWays {
+			return fmt.Errorf("bpred: state BTB set %d has %d entries, max %d", i, len(set), p.cfg.BTBWays)
+		}
+		dst := p.btb[i][:0]
+		for _, e := range set {
+			dst = append(dst, btbEntry{tag: e.Tag, target: e.Target, valid: e.Valid})
+		}
+		p.btb[i] = dst
+	}
+	p.Stats = s.Stats
+	return nil
+}
+
+func counterBytes(c []twoBit) []uint8 {
+	out := make([]uint8, len(c))
+	for i, v := range c {
+		out[i] = uint8(v)
+	}
+	return out
+}
+
+func copyCounters(dst []twoBit, src []uint8) {
+	for i, v := range src {
+		dst[i] = twoBit(v)
+	}
+}

@@ -245,6 +245,36 @@ func (c *Cache) OccupancyByOwner(numCores int) []int {
 	return counts
 }
 
+// State is the serializable mutable state of a Cache (blocks + stats).
+type State struct {
+	Sets  [][]Block
+	Stats Stats
+}
+
+// Snapshot captures the cache's full mutable state.
+func (c *Cache) Snapshot() State {
+	s := State{Sets: make([][]Block, len(c.sets)), Stats: c.Stats}
+	for i := range c.sets {
+		s.Sets[i] = append([]Block(nil), c.sets[i].blocks...)
+	}
+	return s
+}
+
+// Restore loads a snapshot taken from an identically configured cache.
+func (c *Cache) Restore(s State) error {
+	if len(s.Sets) != len(c.sets) {
+		return fmt.Errorf("cache %s: state has %d sets, cache has %d", c.Name, len(s.Sets), len(c.sets))
+	}
+	for i, blocks := range s.Sets {
+		if len(blocks) > c.Geom.Ways {
+			return fmt.Errorf("cache %s: state set %d has %d blocks > %d ways", c.Name, i, len(blocks), c.Geom.Ways)
+		}
+		c.sets[i].blocks = append(c.sets[i].blocks[:0], blocks...)
+	}
+	c.Stats = s.Stats
+	return nil
+}
+
 // CheckInvariants verifies internal consistency (unique tags per set, no
 // overflow); used by property tests. It returns an error description or "".
 func (c *Cache) CheckInvariants() string {

@@ -1,6 +1,10 @@
 package cache
 
-import "nucasim/internal/memaddr"
+import (
+	"fmt"
+
+	"nucasim/internal/memaddr"
+)
 
 // ShadowTagTable implements the paper's shadow-tag structure (Figure 4(b)):
 // one tag register per monitored set per core, recording the tag of the
@@ -89,11 +93,61 @@ func (t *ShadowTagTable) Match(set, core int, tag uint64) bool {
 	return false
 }
 
+// Entry returns the shadow tag stored for (set, core) and whether the
+// entry is valid. Unmonitored sets report no entry.
+func (t *ShadowTagTable) Entry(set, core int) (tag uint64, ok bool) {
+	if !t.Monitored(set) {
+		return 0, false
+	}
+	i := set*t.cores + core
+	return t.tags[i], t.valid[i]
+}
+
+// Invalidate clears the (set, core) entry if it holds tag. The shadow
+// register records "the block core lost from this set"; when that block
+// re-enters core's partition by promotion rather than by a fresh fill
+// (which goes through Match), the register must be retired or it would
+// alias a resident block and overstate the gain of growing the partition.
+func (t *ShadowTagTable) Invalidate(set, core int, tag uint64) {
+	if !t.Monitored(set) {
+		return
+	}
+	i := set*t.cores + core
+	if t.valid[i] && t.tags[i] == tag {
+		t.valid[i] = false
+	}
+}
+
 // Reset clears all entries.
 func (t *ShadowTagTable) Reset() {
 	for i := range t.valid {
 		t.valid[i] = false
 	}
+}
+
+// ShadowState is the serializable mutable state of a ShadowTagTable.
+type ShadowState struct {
+	Tags  []uint64
+	Valid []bool
+}
+
+// State snapshots the table's mutable state.
+func (t *ShadowTagTable) State() ShadowState {
+	return ShadowState{
+		Tags:  append([]uint64(nil), t.tags...),
+		Valid: append([]bool(nil), t.valid...),
+	}
+}
+
+// Restore loads a snapshot taken from an identically configured table.
+func (t *ShadowTagTable) Restore(s ShadowState) error {
+	if len(s.Tags) != len(t.tags) || len(s.Valid) != len(t.valid) {
+		return fmt.Errorf("cache: shadow state has %d tags/%d valid, table wants %d/%d",
+			len(s.Tags), len(s.Valid), len(t.tags), len(t.valid))
+	}
+	copy(t.tags, s.Tags)
+	copy(t.valid, s.Valid)
+	return nil
 }
 
 // StorageBits returns the storage the table costs in bits given the tag

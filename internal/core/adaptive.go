@@ -441,6 +441,11 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 // position, demoting the private LRU into the slot the block vacated
 // (Section 2.3's swap), then restores the physical-home invariant.
 func (a *Adaptive) adoptIntoPrivate(s *gset, coreID int, blk blockRec, vacatedHome int16, setIdx int, now uint64) {
+	// The block re-enters coreID's partition without a fill, so a shadow
+	// register still naming it would alias a resident block. For disjoint
+	// per-core address spaces this never fires (the re-fill's Match already
+	// consumed the entry); it matters for parallel-mode shared blocks.
+	a.shadow.Invalidate(setIdx, coreID, blk.tag)
 	s.priv[coreID] = prependBlock(s.priv[coreID], blk)
 	if len(s.priv[coreID]) > a.privTarget(coreID) {
 		depth := len(s.priv[coreID]) - 1
@@ -775,6 +780,29 @@ func (a *Adaptive) NumSets() int { return a.geom.Sets }
 // NumCores returns the core count.
 func (a *Adaptive) NumCores() int { return a.cfg.Cores }
 
+// LocalWays returns the associativity of each core's local cache.
+func (a *Adaptive) LocalWays() int { return a.cfg.LocalWays }
+
+// TotalWays returns the slot count of one global set (cores × local ways).
+func (a *Adaptive) TotalWays() int { return a.totalWays }
+
+// InitialLimit returns the per-core maxBlocksInSet the controller starts
+// from (75 % of the local ways, at least 1 — Section 2.1). The limits
+// always sum to InitialLimit()×NumCores(): repartitioning only transfers.
+func (a *Adaptive) InitialLimit() int {
+	initial := a.cfg.LocalWays * 3 / 4
+	if initial < 1 {
+		initial = 1
+	}
+	return initial
+}
+
+// ShadowEntry exposes the shadow register for (set, core): the recorded
+// tag and whether the register is valid (external invariant checks).
+func (a *Adaptive) ShadowEntry(set, core int) (tag uint64, ok bool) {
+	return a.shadow.Entry(set, core)
+}
+
 // SetStats returns a copy of the per-global-set activity counters.
 func (a *Adaptive) SetStats() []llc.SetStats {
 	out := make([]llc.SetStats, len(a.setStats))
@@ -880,6 +908,12 @@ func (a *Adaptive) CheckInvariants() string {
 			}
 		}
 		for _, b := range s.shared {
+			if int(b.owner) < 0 || int(b.owner) >= a.cfg.Cores {
+				return fmt.Sprintf("set %d: shared block %#x has owner %d out of [0,%d)", i, b.tag, b.owner, a.cfg.Cores)
+			}
+			if int(b.home) < 0 || int(b.home) >= a.cfg.Cores {
+				return fmt.Sprintf("set %d: shared block %#x has home %d out of [0,%d)", i, b.tag, b.home, a.cfg.Cores)
+			}
 			if seen[b.tag] {
 				return fmt.Sprintf("set %d: duplicate tag %#x in shared", i, b.tag)
 			}
@@ -889,6 +923,25 @@ func (a *Adaptive) CheckInvariants() string {
 		for h, n := range homes {
 			if n > a.cfg.LocalWays {
 				return fmt.Sprintf("set %d: local cache %d holds %d > %d blocks", i, h, n, a.cfg.LocalWays)
+			}
+		}
+		// A shadow register holds the tag of a block its core *lost*; if
+		// the same tag is resident again under that owner, the register
+		// was never consumed or retired and the gain estimate is skewed.
+		for c := 0; c < a.cfg.Cores; c++ {
+			tag, ok := a.shadow.Entry(i, c)
+			if !ok {
+				continue
+			}
+			for _, b := range s.priv[c] {
+				if b.tag == tag {
+					return fmt.Sprintf("set %d: shadow tag %#x of core %d aliases a resident private block", i, tag, c)
+				}
+			}
+			for _, b := range s.shared {
+				if int(b.owner) == c && b.tag == tag {
+					return fmt.Sprintf("set %d: shadow tag %#x of core %d aliases a resident shared block", i, tag, c)
+				}
 			}
 		}
 	}

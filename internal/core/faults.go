@@ -1,0 +1,197 @@
+package core
+
+import "fmt"
+
+// This file holds deliberate state-corruption hooks for the
+// fault-injection harness (internal/faultinject). Each mutator seeds one
+// specific structural fault into a live Adaptive instance and reports
+// whether a suitable injection site existed. None of these are called by
+// the simulator itself — they exist so the detector suite can prove that
+// the invariant checker and the replay verifier actually catch the
+// corruption modes they claim to.
+
+// InjectLimits overwrites the per-core occupancy limits with a *legal*
+// assignment — each limit within the paper's bounds and the sum conserved
+// — so tests can drive the structure into states like [5 5 1 1] that a
+// run only reaches organically after a long phase change. Illegal
+// assignments are rejected; use CorruptLimit* to seed broken ones.
+func (a *Adaptive) InjectLimits(limits []int) error {
+	if len(limits) != a.cfg.Cores {
+		return fmt.Errorf("core: got %d limits, want %d", len(limits), a.cfg.Cores)
+	}
+	sum := 0
+	upper := a.totalWays - (a.cfg.Cores - 1)
+	for c, m := range limits {
+		if m < 1 || m > upper {
+			return fmt.Errorf("core: limit %d of core %d outside [1,%d]", m, c, upper)
+		}
+		sum += m
+	}
+	if want := a.InitialLimit() * a.cfg.Cores; sum != want {
+		return fmt.Errorf("core: limits sum to %d, repartitioning conserves %d", sum, want)
+	}
+	copy(a.maxBlocks, limits)
+	return nil
+}
+
+// FaultFlipPrivateOwner flips the owner (and home) of the first resident
+// private block it finds to a different core, leaving the block in the
+// original core's stack. Expected detector: invariant checker (private
+// blocks must have owner == home == stack index).
+func (a *Adaptive) FaultFlipPrivateOwner() bool {
+	for i := range a.sets {
+		for c := range a.sets[i].priv {
+			if len(a.sets[i].priv[c]) == 0 {
+				continue
+			}
+			a.sets[i].priv[c][0].owner = int16((c + 1) % a.cfg.Cores)
+			return true
+		}
+	}
+	return false
+}
+
+// FaultFlipSharedOwner flips the owner of the first shared block it finds
+// to the next core (still in range, so derived owner counts stay legal).
+// Structurally self-consistent — the invariant checker cannot see it —
+// but the replay verifier compares shared owners against the trace.
+// Expected detector: replay verifier.
+func (a *Adaptive) FaultFlipSharedOwner() bool {
+	for i := range a.sets {
+		if len(a.sets[i].shared) == 0 {
+			continue
+		}
+		b := &a.sets[i].shared[0]
+		b.owner = int16((int(b.owner) + 1) % a.cfg.Cores)
+		return true
+	}
+	return false
+}
+
+// FaultDropSharedBlock silently removes the MRU shared block of the first
+// non-empty shared stack — the effect of a lost demotion. The remaining
+// structure is well-formed, so only the replay verifier (which knows the
+// block should be there) can detect it. Expected detector: replay
+// verifier.
+func (a *Adaptive) FaultDropSharedBlock() bool {
+	for i := range a.sets {
+		s := &a.sets[i]
+		if len(s.shared) == 0 {
+			continue
+		}
+		s.shared = s.shared[1:]
+		return true
+	}
+	return false
+}
+
+// FaultReorderPrivateStack swaps the MRU and LRU entries of the first
+// private stack holding at least two blocks. The stack remains a
+// duplicate-free permutation of the same blocks, so the invariant checker
+// passes; the replay verifier compares exact LRU order. Expected
+// detector: replay verifier.
+func (a *Adaptive) FaultReorderPrivateStack() bool {
+	for i := range a.sets {
+		for c := range a.sets[i].priv {
+			p := a.sets[i].priv[c]
+			if len(p) < 2 {
+				continue
+			}
+			p[0], p[len(p)-1] = p[len(p)-1], p[0]
+			return true
+		}
+	}
+	return false
+}
+
+// FaultDuplicateTag overwrites a shared block's tag with the tag of a
+// private block in the same set, creating two residents with one
+// identity. Expected detector: invariant checker (duplicate tag).
+func (a *Adaptive) FaultDuplicateTag() bool {
+	for i := range a.sets {
+		s := &a.sets[i]
+		if len(s.shared) == 0 {
+			continue
+		}
+		for c := range s.priv {
+			if len(s.priv[c]) == 0 {
+				continue
+			}
+			s.shared[0].tag = s.priv[c][0].tag
+			return true
+		}
+	}
+	return false
+}
+
+// FaultLimitOutOfBounds zeroes core 0's occupancy limit, violating the
+// paper's "at least one block per core" constraint. Expected detector:
+// invariant checker (limit out of range).
+func (a *Adaptive) FaultLimitOutOfBounds() bool {
+	a.maxBlocks[0] = 0
+	return true
+}
+
+// FaultLimitSum grows core 0's limit without shrinking another, breaking
+// conservation of the total partition budget. Expected detector:
+// invariant checker (limits sum).
+func (a *Adaptive) FaultLimitSum() bool {
+	a.maxBlocks[0]++
+	return true
+}
+
+// FaultAliasShadowTag writes the tag of a resident block into its owner's
+// shadow register for the same set, claiming the block was evicted while
+// it is still resident. Expected detector: invariant checker (shadow
+// alias). Only monitored sets have registers; returns false if no
+// monitored set holds a block.
+func (a *Adaptive) FaultAliasShadowTag() bool {
+	for i := range a.sets {
+		if !a.shadow.Monitored(i) {
+			continue
+		}
+		s := &a.sets[i]
+		for c := range s.priv {
+			if len(s.priv[c]) == 0 {
+				continue
+			}
+			a.shadow.Record(i, c, s.priv[c][0].tag)
+			return true
+		}
+		if len(s.shared) > 0 {
+			b := s.shared[0]
+			a.shadow.Record(i, int(b.owner), b.tag)
+			return true
+		}
+	}
+	return false
+}
+
+// FaultOverfillHome rehomes a shared block onto a local cache that is
+// already full, so one physical cache claims more blocks than it has
+// ways. Expected detector: invariant checker (home overflow). Requires a
+// set with a full local cache and a shared block homed elsewhere.
+func (a *Adaptive) FaultOverfillHome() bool {
+	homes := make([]int, a.cfg.Cores)
+	for i := range a.sets {
+		s := &a.sets[i]
+		s.homeCounts(homes)
+		full := -1
+		for h, n := range homes {
+			if n == a.cfg.LocalWays {
+				full = h
+				break
+			}
+		}
+		if full < 0 {
+			continue
+		}
+		for j := range s.shared {
+			if int(s.shared[j].home) != full {
+				s.shared[j].home = int16(full)
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"nucasim/internal/cache"
+	"nucasim/internal/llc"
+)
+
+// BlockState mirrors blockRec with exported fields for serialization.
+type BlockState struct {
+	Tag   uint64
+	Owner int16
+	Home  int16
+	Dirty bool
+}
+
+// SetState is the serializable content of one global set.
+type SetState struct {
+	Priv   [][]BlockState
+	Shared []BlockState
+}
+
+// State is the complete mutable state of an Adaptive instance — enough
+// to resume a checkpointed run bit-identically. Configuration is not
+// included: Restore expects an instance built with the same Config.
+type State struct {
+	Sets      []SetState
+	Shadow    cache.ShadowState
+	MaxBlocks []int
+
+	ShadowHits        []uint64
+	LRUHits           []uint64
+	MissesSinceRepart int
+
+	PerCore    []llc.AccessStats
+	SetStats   []llc.SetStats
+	LastSetAgg llc.SetStats
+	EpochStats []llc.AccessStats // nil when telemetry was detached
+
+	Repartitions uint64
+	Evaluations  uint64
+}
+
+func blocksOut(in []blockRec) []BlockState {
+	out := make([]BlockState, len(in))
+	for i, b := range in {
+		out[i] = BlockState{Tag: b.tag, Owner: b.owner, Home: b.home, Dirty: b.dirty}
+	}
+	return out
+}
+
+func blocksIn(in []BlockState) []blockRec {
+	out := make([]blockRec, len(in))
+	for i, b := range in {
+		out[i] = blockRec{tag: b.Tag, owner: b.Owner, home: b.Home, dirty: b.Dirty}
+	}
+	return out
+}
+
+// Snapshot captures the instance's full mutable state.
+func (a *Adaptive) Snapshot() State {
+	st := State{
+		Sets:              make([]SetState, len(a.sets)),
+		Shadow:            a.shadow.State(),
+		MaxBlocks:         append([]int(nil), a.maxBlocks...),
+		ShadowHits:        append([]uint64(nil), a.shadowHits...),
+		LRUHits:           append([]uint64(nil), a.lruHits...),
+		MissesSinceRepart: a.missesSinceRepart,
+		PerCore:           append([]llc.AccessStats(nil), a.perCore...),
+		SetStats:          append([]llc.SetStats(nil), a.setStats...),
+		LastSetAgg:        a.lastSetAgg,
+		Repartitions:      a.Repartitions,
+		Evaluations:       a.Evaluations,
+	}
+	if a.epochStats != nil {
+		st.EpochStats = append([]llc.AccessStats(nil), a.epochStats...)
+	}
+	for i := range a.sets {
+		ss := SetState{Priv: make([][]BlockState, len(a.sets[i].priv))}
+		for c, p := range a.sets[i].priv {
+			ss.Priv[c] = blocksOut(p)
+		}
+		ss.Shared = blocksOut(a.sets[i].shared)
+		st.Sets[i] = ss
+	}
+	return st
+}
+
+// Restore loads a snapshot taken from an identically configured instance.
+func (a *Adaptive) Restore(st State) error {
+	if len(st.Sets) != len(a.sets) {
+		return fmt.Errorf("core: state has %d sets, instance has %d", len(st.Sets), len(a.sets))
+	}
+	if len(st.MaxBlocks) != a.cfg.Cores || len(st.PerCore) != a.cfg.Cores {
+		return fmt.Errorf("core: state is for %d cores, instance has %d", len(st.MaxBlocks), a.cfg.Cores)
+	}
+	if err := a.shadow.Restore(st.Shadow); err != nil {
+		return err
+	}
+	for i := range st.Sets {
+		if len(st.Sets[i].Priv) != a.cfg.Cores {
+			return fmt.Errorf("core: set %d has %d private stacks, want %d", i, len(st.Sets[i].Priv), a.cfg.Cores)
+		}
+		for c, p := range st.Sets[i].Priv {
+			a.sets[i].priv[c] = blocksIn(p)
+		}
+		a.sets[i].shared = blocksIn(st.Sets[i].Shared)
+	}
+	copy(a.maxBlocks, st.MaxBlocks)
+	copy(a.shadowHits, st.ShadowHits)
+	copy(a.lruHits, st.LRUHits)
+	a.missesSinceRepart = st.MissesSinceRepart
+	copy(a.perCore, st.PerCore)
+	copy(a.setStats, st.SetStats)
+	a.lastSetAgg = st.LastSetAgg
+	if st.EpochStats != nil && a.epochStats != nil {
+		copy(a.epochStats, st.EpochStats)
+	}
+	a.Repartitions = st.Repartitions
+	a.Evaluations = st.Evaluations
+	if msg := a.CheckInvariants(); msg != "" {
+		return fmt.Errorf("core: restored state violates invariants: %s", msg)
+	}
+	return nil
+}

@@ -159,3 +159,18 @@ func (m *Memory) Reset() {
 	m.nextFree = 0
 	m.Stats = Stats{}
 }
+
+// State is the serializable mutable state of the memory channel.
+type State struct {
+	NextFree uint64
+	Stats    Stats
+}
+
+// Snapshot captures the channel's mutable state.
+func (m *Memory) Snapshot() State { return State{NextFree: m.nextFree, Stats: m.Stats} }
+
+// Restore loads a snapshot.
+func (m *Memory) Restore(s State) {
+	m.nextFree = s.NextFree
+	m.Stats = s.Stats
+}

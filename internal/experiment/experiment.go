@@ -42,6 +42,12 @@ type Options struct {
 	// so decisions from different mixes stay distinguishable
 	// (cmd/experiments -trace-out).
 	TraceWriter io.Writer
+
+	// CheckInvariants arms the structural invariant checker on every
+	// adaptive run (sim.Config.CheckInvariants): partition state is
+	// verified at each repartitioning evaluation and a violation aborts
+	// the figure with a panic naming the broken invariant.
+	CheckInvariants bool
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +77,7 @@ func (o Options) simConfig(scheme sim.Scheme, seed uint64) sim.Config {
 		WarmupInstructions: o.WarmupInstructions,
 		WarmupCycles:       o.WarmupCycles,
 		MeasureCycles:      o.MeasureCycles,
+		CheckInvariants:    o.CheckInvariants,
 	}
 	if o.TraceWriter != nil && scheme == sim.SchemeAdaptive {
 		cfg.Telemetry = &telemetry.Config{

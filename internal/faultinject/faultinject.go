@@ -1,0 +1,90 @@
+// Package faultinject seeds deliberate corruptions into a live adaptive
+// NUCA instance and records which detector is expected to catch each one.
+// The point is detector *coverage*: the invariant checker
+// (internal/invariant) and the replay verifier (internal/replay) both
+// claim to catch classes of bookkeeping bugs, and this package proves the
+// claim by breaking the structure on purpose — a fault nobody detects is
+// a hole in the safety net, found here instead of in a weeks-long run.
+//
+// Faults that leave the structure self-consistent (a dropped demotion, a
+// reordered LRU stack, a flipped shared owner) are invisible to any
+// structural checker and must be caught by the replay verifier, which
+// knows from the trace what the state *should* be. Faults that break
+// well-formedness itself (duplicate tags, out-of-range limits, shadow
+// aliasing) are the invariant checker's job. Trace-level faults
+// (truncation mid-line) belong to the parsers.
+package faultinject
+
+import "nucasim/internal/core"
+
+// Detector identifies which layer is expected to catch a fault.
+type Detector string
+
+const (
+	// DetectorInvariant: internal/invariant.Check on the live state.
+	DetectorInvariant Detector = "invariant"
+	// DetectorReplay: the replay verifier at the next epoch cross-check.
+	DetectorReplay Detector = "replay"
+)
+
+// Fault is one entry of the fault-injection matrix.
+type Fault struct {
+	Name     string
+	Detector Detector
+	// Inject seeds the fault; false means no suitable site existed
+	// (e.g. an empty structure), which the harness treats as a test
+	// setup failure, not a pass.
+	Inject func(a *core.Adaptive) bool
+}
+
+// Matrix returns the structural fault catalog (see DESIGN.md §8 for the
+// prose version). Ordering is stable for reporting.
+func Matrix() []Fault {
+	return []Fault{
+		{
+			Name:     "flip-private-owner",
+			Detector: DetectorInvariant,
+			Inject:   (*core.Adaptive).FaultFlipPrivateOwner,
+		},
+		{
+			Name:     "duplicate-tag",
+			Detector: DetectorInvariant,
+			Inject:   (*core.Adaptive).FaultDuplicateTag,
+		},
+		{
+			Name:     "limit-out-of-bounds",
+			Detector: DetectorInvariant,
+			Inject:   (*core.Adaptive).FaultLimitOutOfBounds,
+		},
+		{
+			Name:     "limit-sum-violation",
+			Detector: DetectorInvariant,
+			Inject:   (*core.Adaptive).FaultLimitSum,
+		},
+		{
+			Name:     "alias-shadow-tag",
+			Detector: DetectorInvariant,
+			Inject:   (*core.Adaptive).FaultAliasShadowTag,
+		},
+		{
+			Name:     "overfill-home",
+			Detector: DetectorInvariant,
+			Inject:   (*core.Adaptive).FaultOverfillHome,
+		},
+		{
+			Name:     "flip-shared-owner",
+			Detector: DetectorReplay,
+			Inject:   (*core.Adaptive).FaultFlipSharedOwner,
+		},
+		{
+			Name:     "drop-demoted-block",
+			Detector: DetectorReplay,
+			Inject:   (*core.Adaptive).FaultDropSharedBlock,
+		},
+		{
+			Name:     "reorder-private-stack",
+			Detector: DetectorReplay,
+			Inject:   (*core.Adaptive).FaultReorderPrivateStack,
+		},
+	}
+}

@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nucasim/internal/core"
+	"nucasim/internal/dram"
+	"nucasim/internal/invariant"
+	"nucasim/internal/replay"
+	"nucasim/internal/rng"
+	"nucasim/internal/telemetry"
+)
+
+// TestControlRunIsClean pins the baseline: with no fault injected, the
+// harness passes both detectors over several epochs. Without this, the
+// coverage tests below could "detect" their own harness bugs.
+func TestControlRunIsClean(t *testing.T) {
+	h := NewHarness(1)
+	if err := h.RunEpochs(5); err != nil {
+		t.Fatalf("control run tripped the replay verifier: %v", err)
+	}
+	if err := invariant.Check(h.Adaptive); err != nil {
+		t.Fatalf("control run violates invariants: %v", err)
+	}
+}
+
+// TestDetectorCoverage proves every fault in the matrix is caught by its
+// expected detector — and that replay-detected faults really are
+// invisible to the invariant checker, which is why the verifier must
+// exist at all.
+func TestDetectorCoverage(t *testing.T) {
+	for _, f := range Matrix() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			h := NewHarness(1)
+			if err := h.RunEpochs(3); err != nil {
+				t.Fatalf("warmup failed: %v", err)
+			}
+			if !f.Inject(h.Adaptive) {
+				t.Fatalf("no injection site for %s after warmup", f.Name)
+			}
+			switch f.Detector {
+			case DetectorInvariant:
+				if err := invariant.Check(h.Adaptive); err == nil {
+					t.Fatalf("invariant checker missed seeded fault %s", f.Name)
+				} else {
+					t.Logf("caught: %v", err)
+				}
+			case DetectorReplay:
+				if err := invariant.Check(h.Adaptive); err != nil {
+					t.Fatalf("%s should be structurally invisible, but invariant checker saw: %v", f.Name, err)
+				}
+				if err := h.RunEpochs(1); err == nil {
+					t.Fatalf("replay verifier missed seeded fault %s", f.Name)
+				} else {
+					t.Logf("caught: %v", err)
+				}
+			default:
+				t.Fatalf("unknown detector %q", f.Detector)
+			}
+		})
+	}
+}
+
+// TestMatrixInjectsOnFreshState documents which faults need a populated
+// cache: on a completely cold instance only the limit faults have
+// injection sites, so harness warmup is a correctness requirement of the
+// coverage suite, not an optimization.
+func TestMatrixInjectsOnFreshState(t *testing.T) {
+	always := map[string]bool{"limit-out-of-bounds": true, "limit-sum-violation": true}
+	for _, f := range Matrix() {
+		a := core.NewAdaptive(core.Config{Cores: 4, BytesPerCore: 64 * 4 * 64, LocalWays: 4},
+			dram.New(dram.PrivateConfig()))
+		got := f.Inject(a)
+		if got != always[f.Name] {
+			t.Errorf("%s: injectable on cold state = %v, want %v", f.Name, got, always[f.Name])
+		}
+	}
+}
+
+// TestTruncatedTraceDetected covers the trace-level fault: a JSONL trace
+// cut mid-line (a crashed writer, a full disk) must fail parsing loudly
+// in both replay.ReadEvents and telemetry.ReplayLimits rather than
+// yielding a silently shorter event history.
+func TestTruncatedTraceDetected(t *testing.T) {
+	var buf bytes.Buffer
+	a := core.NewAdaptive(core.Config{
+		Cores: harnessCores, BytesPerCore: harnessSets * harnessWays * 64,
+		LocalWays: harnessWays, RepartitionPeriod: harnessPeriod,
+	}, dram.New(dram.PrivateConfig()))
+	a.SetTelemetry(telemetry.New(telemetry.Config{TraceWriter: &buf, FullTrace: true}))
+
+	// Drive the buffer-backed instance directly for a few epochs.
+	drive := &Harness{Adaptive: a, r: rng.New(3), now: 1}
+	for a.Evaluations < 2 {
+		drive.step()
+	}
+	a.Telemetry().Trace.Flush()
+
+	whole := buf.Bytes()
+	if _, err := replay.ReadEvents(bytes.NewReader(whole), ""); err != nil {
+		t.Fatalf("intact trace must parse: %v", err)
+	}
+
+	// Cut inside the final line: beyond its last newline, minus a margin
+	// so the cut cannot land on the line boundary.
+	lastNL := bytes.LastIndexByte(whole[:len(whole)-1], '\n')
+	cut := whole[:lastNL+(len(whole)-lastNL)/2]
+	if cut[len(cut)-1] == '\n' {
+		t.Fatal("test bug: truncation landed on a line boundary")
+	}
+	if _, err := replay.ReadEvents(bytes.NewReader(cut), ""); err == nil {
+		t.Fatal("ReadEvents accepted a trace truncated mid-line")
+	} else if !strings.Contains(err.Error(), "line") {
+		t.Fatalf("truncation error should name the line: %v", err)
+	}
+	if _, err := telemetry.ReplayLimits(bytes.NewReader(cut), []int{3, 3, 3, 3}, ""); err == nil {
+		t.Fatal("ReplayLimits accepted a trace truncated mid-line")
+	}
+}

@@ -1,0 +1,83 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"nucasim/internal/core"
+	"nucasim/internal/dram"
+	"nucasim/internal/memaddr"
+	"nucasim/internal/replay"
+	"nucasim/internal/rng"
+	"nucasim/internal/telemetry"
+)
+
+// Harness drives a small adaptive instance with a synthetic access
+// stream, with the full event trace teed into the replay verifier
+// exactly as a -replay-verify simulation wires it. Faults are injected
+// between accesses; RunEpoch then carries the run to the next
+// repartition cross-check so the verifier gets its chance to object.
+type Harness struct {
+	Adaptive *core.Adaptive
+	Verifier *replay.Verifier
+
+	r   *rng.Rand
+	now uint64
+}
+
+// harness geometry: 4 cores × 4 ways over 64 sets keeps full-trace
+// volume small while giving every fault a populated injection site, and
+// a short period makes epochs (the verifier's checkpoints) frequent.
+const (
+	harnessCores  = 4
+	harnessWays   = 4
+	harnessSets   = 64
+	harnessPeriod = 200
+)
+
+// NewHarness builds the instrumented instance. Streams are deterministic
+// in seed.
+func NewHarness(seed uint64) *Harness {
+	a := core.NewAdaptive(core.Config{
+		Cores:             harnessCores,
+		BytesPerCore:      harnessSets * harnessWays * 64,
+		LocalWays:         harnessWays,
+		RepartitionPeriod: harnessPeriod,
+	}, dram.New(dram.PrivateConfig()))
+	v := replay.NewVerifier(a)
+	a.SetTelemetry(telemetry.New(telemetry.Config{TraceWriter: v, FullTrace: true}))
+	tr := a.Telemetry().Trace
+	a.OnRepartition = func([]int, bool) { tr.Flush() }
+	return &Harness{Adaptive: a, Verifier: v, r: rng.New(seed), now: 1}
+}
+
+// step issues one access: a random core touching its own address space
+// over a footprint several times the cache capacity, so fills, swaps,
+// demotions and evictions all occur and the partitions stay populated.
+func (h *Harness) step() {
+	c := int(h.r.Uint64n(harnessCores))
+	blk := h.r.Uint64n(harnessSets * harnessWays * 4)
+	addr := memaddr.Addr(blk << 6).WithSpace(c)
+	h.now += 4
+	h.Adaptive.Access(c, addr, h.r.Uint64n(8) == 0, h.now)
+}
+
+// RunEpochs advances the stream until n more repartition evaluations
+// have completed (each one is a verifier cross-check), returning the
+// first verifier error, or an error describing an engine panic if the
+// corrupted state blew up the access path before the verifier could see
+// it.
+func (h *Harness) RunEpochs(n uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine panic before verification: %v", r)
+		}
+	}()
+	target := h.Adaptive.Evaluations + n
+	for h.Adaptive.Evaluations < target {
+		h.step()
+		if verr := h.Verifier.Err(); verr != nil {
+			return verr
+		}
+	}
+	return h.Verifier.Err()
+}

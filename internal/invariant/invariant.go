@@ -1,0 +1,135 @@
+// Package invariant is an external structural checker for the adaptive
+// NUCA organization. It re-derives every invariant the paper's design
+// promises from the public inspection API (core.Adaptive's DumpSet /
+// InspectSet / MaxBlocks / ShadowEntry accessors) and cross-checks the
+// result against the engine's own internal self-check — so a bookkeeping
+// bug has to fool two independently written checkers to go unnoticed.
+//
+// The catalog (see DESIGN.md):
+//
+//	I1 limit bounds      each maxBlocksInSet ∈ [1, assoc·cores−(cores−1)]
+//	I2 limit sum         limits sum to the initial budget (transfers conserve)
+//	I3 set capacity      every global set holds ≤ cores×ways blocks
+//	I4 private shape     private stack c has ≤ ways blocks, owner=home=c
+//	I5 tag uniqueness    a tag is resident at most once per global set
+//	I6 occupancy match   InspectSet's derived counts match DumpSet's blocks
+//	I7 home capacity     each local cache holds ≤ ways blocks of its set
+//	I8 shadow aliasing   a valid shadow register never names a block its
+//	                     core currently has resident
+package invariant
+
+import (
+	"fmt"
+
+	"nucasim/internal/core"
+)
+
+// Check validates all structural invariants of a live Adaptive instance.
+// It returns nil if the state is well-formed, or an error naming the
+// first violated invariant. Cost is a full scan over every global set —
+// meant for epoch boundaries and on-demand checks, not the access path.
+func Check(a *core.Adaptive) error {
+	cores, ways, total := a.NumCores(), a.LocalWays(), a.TotalWays()
+
+	// I1 + I2: the controller's limits.
+	limits := a.MaxBlocks()
+	upper := total - (cores - 1)
+	sum := 0
+	for c, m := range limits {
+		if m < 1 || m > upper {
+			return fmt.Errorf("invariant I1: core %d limit %d outside [1,%d]", c, m, upper)
+		}
+		sum += m
+	}
+	if want := a.InitialLimit() * cores; sum != want {
+		return fmt.Errorf("invariant I2: limits %v sum to %d, want %d", limits, sum, want)
+	}
+
+	for set := 0; set < a.NumSets(); set++ {
+		d := a.DumpSet(set)
+		occ := a.InspectSet(set)
+
+		if len(d.SharedTags) != len(d.SharedOwners) {
+			return fmt.Errorf("invariant I6: set %d dump has %d shared tags but %d owners",
+				set, len(d.SharedTags), len(d.SharedOwners))
+		}
+		seen := make(map[uint64]int, total)
+		owned := make([]int, cores)
+		residents := 0
+		for c, p := range d.Priv {
+			// I4: private partition shape.
+			if len(p) > ways {
+				return fmt.Errorf("invariant I4: set %d core %d private stack holds %d > %d ways",
+					set, c, len(p), ways)
+			}
+			if occ.Private[c] != len(p) {
+				return fmt.Errorf("invariant I6: set %d core %d private occupancy %d, dump shows %d",
+					set, c, occ.Private[c], len(p))
+			}
+			for _, tag := range p {
+				if prev, dup := seen[tag]; dup {
+					return fmt.Errorf("invariant I5: set %d tag %#x resident in partitions of core %d and core %d",
+						set, tag, prev, c)
+				}
+				seen[tag] = c
+			}
+			owned[c] += len(p)
+			residents += len(p)
+		}
+		for i, tag := range d.SharedTags {
+			owner := d.SharedOwners[i]
+			if owner < 0 || owner >= cores {
+				return fmt.Errorf("invariant I6: set %d shared block %#x has owner %d outside [0,%d)",
+					set, tag, owner, cores)
+			}
+			if prev, dup := seen[tag]; dup {
+				return fmt.Errorf("invariant I5: set %d tag %#x duplicated (core %d partition and shared)",
+					set, tag, prev)
+			}
+			seen[tag] = owner
+			owned[owner]++
+			residents++
+		}
+
+		// I3: set capacity.
+		if residents > total {
+			return fmt.Errorf("invariant I3: set %d holds %d blocks > %d slots", set, residents, total)
+		}
+		if occ.SharedBlocks != len(d.SharedTags) {
+			return fmt.Errorf("invariant I6: set %d shared occupancy %d, dump shows %d",
+				set, occ.SharedBlocks, len(d.SharedTags))
+		}
+		// I6: derived per-owner occupancy matches real ownership.
+		for c := range owned {
+			if occ.ByOwner[c] != owned[c] {
+				return fmt.Errorf("invariant I6: set %d core %d owner count %d, blocks show %d",
+					set, c, occ.ByOwner[c], owned[c])
+			}
+		}
+		// I7: physical home capacity.
+		for h, n := range occ.ByHome {
+			if n > ways {
+				return fmt.Errorf("invariant I7: set %d local cache %d homes %d > %d blocks",
+					set, h, n, ways)
+			}
+		}
+		// I8: shadow registers never alias a resident block of their core.
+		for c := 0; c < cores; c++ {
+			tag, ok := a.ShadowEntry(set, c)
+			if !ok {
+				continue
+			}
+			if by, resident := seen[tag]; resident && by == c {
+				return fmt.Errorf("invariant I8: set %d shadow register of core %d names resident tag %#x",
+					set, c, tag)
+			}
+		}
+	}
+
+	// Cross-check against the engine's own internal self-check, which sees
+	// fields (physical homes, dirty bits) the public dump omits.
+	if msg := a.CheckInvariants(); msg != "" {
+		return fmt.Errorf("invariant (internal): %s", msg)
+	}
+	return nil
+}

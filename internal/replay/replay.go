@@ -120,8 +120,11 @@ func InferGeometry(events []Event) (cores, sets int) {
 	if cores == 0 {
 		cores = maxCore + 1
 	}
+	// Round up to a power of two, clamped: a corrupt trace can carry an
+	// absurd set index, and an unguarded shift would wrap negative and
+	// loop forever (no real configuration comes near 2^30 sets).
 	sets = 1
-	for sets < maxSet+1 {
+	for sets < maxSet+1 && sets < 1<<30 {
 		sets <<= 1
 	}
 	return cores, sets

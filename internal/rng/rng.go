@@ -45,6 +45,13 @@ func (r *Rand) Fork(label uint64) *Rand {
 	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
 }
 
+// State returns the generator's internal state for checkpointing.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator's state with a State() snapshot,
+// resuming the exact stream position it was taken at.
+func (r *Rand) Restore(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

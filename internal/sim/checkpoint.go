@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nucasim/internal/atomicio"
+	"nucasim/internal/core"
+	"nucasim/internal/cpu"
+	"nucasim/internal/dram"
+	"nucasim/internal/hierarchy"
+	"nucasim/internal/invariant"
+	"nucasim/internal/telemetry"
+	"nucasim/internal/workload"
+)
+
+// ErrInterrupted is returned by RunContext when the run stops before the
+// measurement window completes — context cancellation or Config.StopAfter.
+// If Config.CheckpointPath was set, a checkpoint holding the interrupted
+// state has been written and the run can be continued with ResumeContext.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+const (
+	checkpointVersion = 1
+
+	// warmSegment is the functional-warmup granularity between context
+	// checks. It must stay a multiple of the 2000-instruction per-core
+	// interleave chunk inside WarmFunctional so that segmented warmup
+	// replays the exact instruction interleaving of a single call.
+	warmSegment = 200_000
+
+	// measureChunk is the timed-cycle granularity between context checks.
+	// Machine.Run is a plain cycle loop, so chunk boundaries cannot
+	// change simulation state; they only bound cancellation latency.
+	measureChunk = 4096
+)
+
+// Checkpoint is the complete serialized state of an interrupted run:
+// configuration, workload mix, every core (including its instruction
+// generator and branch predictor), the upper cache hierarchy, the
+// adaptive LLC with its shadow tags and partition limits, the memory
+// channel, and the telemetry epoch ring. Gob-encoded; written atomically.
+//
+// Config.Telemetry holds an io.Writer and cannot be serialized, so its
+// parameters travel in the Telemetry* fields and the pointer is stripped.
+type Checkpoint struct {
+	Version int
+	Cfg     Config
+	Mix     []workload.AppParams
+
+	HasTelemetry           bool
+	TelemetryRun           string
+	TelemetryEpochCapacity int
+	TelemetrySampleEvery   map[telemetry.Kind]uint64
+	TelemetryFullTrace     bool
+
+	Now      uint64 // simulation cycle at capture
+	Measured uint64 // measured cycles completed before capture
+
+	// The measurement window's baseline counters (Machine.snap at the
+	// warmup/measure boundary), so the resumed run computes deltas
+	// against the same origin.
+	BeforeInstr  []uint64
+	BeforeAccess []uint64
+	BeforeMiss   []uint64
+
+	Cores []cpu.State
+	Hier  hierarchy.State
+	Mem   dram.State
+	LLC   core.State
+	Telem telemetry.State
+}
+
+// captureCheckpoint snapshots the machine mid-measurement.
+func (m *Machine) captureCheckpoint(before snapshot, measured uint64, mix []workload.AppParams) *Checkpoint {
+	cfg := m.Cfg
+	tcfg := cfg.Telemetry
+	cfg.Telemetry = nil
+	ck := &Checkpoint{
+		Version:      checkpointVersion,
+		Cfg:          cfg,
+		Mix:          append([]workload.AppParams(nil), mix...),
+		Now:          m.now,
+		Measured:     measured,
+		BeforeInstr:  append([]uint64(nil), before.instr...),
+		BeforeAccess: append([]uint64(nil), before.access...),
+		BeforeMiss:   append([]uint64(nil), before.miss...),
+		Hier:         m.Hierarchy.Snapshot(),
+		Mem:          m.Memory.Snapshot(),
+		Telem:        m.Telemetry.Snapshot(),
+	}
+	if tcfg != nil {
+		ck.HasTelemetry = true
+		ck.TelemetryRun = tcfg.Run
+		ck.TelemetryEpochCapacity = tcfg.EpochCapacity
+		ck.TelemetrySampleEvery = tcfg.SampleEvery
+		ck.TelemetryFullTrace = tcfg.FullTrace
+	}
+	for _, c := range m.Cores {
+		ck.Cores = append(ck.Cores, c.Snapshot())
+	}
+	if m.Adaptive != nil {
+		ck.LLC = m.Adaptive.Snapshot()
+	}
+	return ck
+}
+
+// restoreCheckpoint loads a checkpoint into a machine freshly built from
+// the checkpoint's own configuration and mix.
+func (m *Machine) restoreCheckpoint(ck *Checkpoint) error {
+	if len(ck.Cores) != len(m.Cores) {
+		return fmt.Errorf("sim: checkpoint holds %d cores, machine has %d", len(ck.Cores), len(m.Cores))
+	}
+	for i, c := range m.Cores {
+		if err := c.Restore(ck.Cores[i]); err != nil {
+			return fmt.Errorf("core %d: %w", i, err)
+		}
+	}
+	if err := m.Hierarchy.Restore(ck.Hier); err != nil {
+		return err
+	}
+	m.Memory.Restore(ck.Mem)
+	if m.Adaptive != nil {
+		if err := m.Adaptive.Restore(ck.LLC); err != nil {
+			return err
+		}
+	}
+	if m.Telemetry != nil {
+		if err := m.Telemetry.Restore(ck.Telem); err != nil {
+			return err
+		}
+	}
+	m.now = ck.Now
+	return nil
+}
+
+// WriteCheckpoint gob-encodes ck to path atomically: the bytes land in a
+// temp file in the same directory and are renamed over path only after a
+// successful sync, so a crash mid-write can never leave a truncated
+// checkpoint under the real name.
+func WriteCheckpoint(path string, ck *Checkpoint) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(ck)
+	})
+}
+
+// ReadCheckpoint loads and validates a checkpoint file.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck := new(Checkpoint)
+	if err := gob.NewDecoder(f).Decode(ck); err != nil {
+		return nil, fmt.Errorf("sim: corrupt checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint %s has version %d, this build reads %d", path, ck.Version, checkpointVersion)
+	}
+	if len(ck.Mix) != ck.Cfg.withDefaults().Cores {
+		return nil, fmt.Errorf("sim: checkpoint %s names %d apps for %d cores", path, len(ck.Mix), ck.Cfg.withDefaults().Cores)
+	}
+	return ck, nil
+}
+
+// invariantGuard carries the first structural-invariant violation seen by
+// the per-epoch hook.
+type invariantGuard struct {
+	err error
+}
+
+// armInvariantChecks wires invariant.Check into the adaptive scheme's
+// repartition hook (composing with any hook NewMachine installed) when
+// Config.CheckInvariants is set.
+func (m *Machine) armInvariantChecks() *invariantGuard {
+	g := &invariantGuard{}
+	if !m.Cfg.CheckInvariants || m.Adaptive == nil {
+		return g
+	}
+	a := m.Adaptive
+	prev := a.OnRepartition
+	a.OnRepartition = func(limits []int, transferred bool) {
+		if prev != nil {
+			prev(limits, transferred)
+		}
+		if g.err == nil {
+			if err := invariant.Check(a); err != nil {
+				g.err = fmt.Errorf("sim: invariant violation at evaluation %d: %w", a.Evaluations, err)
+			}
+		}
+	}
+	return g
+}
+
+// final runs the end-of-run invariant sweep.
+func (g *invariantGuard) final(m *Machine) error {
+	if g.err != nil {
+		return g.err
+	}
+	if m.Cfg.CheckInvariants && m.Adaptive != nil {
+		if err := invariant.Check(m.Adaptive); err != nil {
+			return fmt.Errorf("sim: invariant violation at end of run: %w", err)
+		}
+	}
+	return nil
+}
+
+// RunContext is Run with validation, cancellation and checkpointing: the
+// configuration is validated up front, the warmup and measurement loops
+// honor ctx, Config.CheckInvariants arms the structural checker, and
+// Config.CheckpointPath makes the measurement window crash-safe. An
+// interrupted run returns ErrInterrupted (checkpoint written first when a
+// path is configured); a completed run returns the same Result the
+// plain Run would.
+func RunContext(ctx context.Context, cfg Config, mix []workload.AppParams) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(mix) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: mix has %d apps for %d cores", len(mix), cfg.Cores)
+	}
+	m := NewMachine(cfg, mix)
+	guard := m.armInvariantChecks()
+	start := time.Now()
+
+	// Warmup carries no checkpoint: it is cheap to redo and the baseline
+	// snapshot that anchors Result deltas does not exist yet.
+	for done := uint64(0); done < cfg.WarmupInstructions; {
+		if ctx.Err() != nil {
+			return Result{}, fmt.Errorf("%w during warmup (no checkpoint)", ErrInterrupted)
+		}
+		seg := uint64(warmSegment)
+		if rem := cfg.WarmupInstructions - done; rem < seg {
+			seg = rem
+		}
+		m.warmFunctionalSegment(seg)
+		done += seg
+	}
+	m.Memory.Reset()
+	for done := uint64(0); done < cfg.WarmupCycles; {
+		if ctx.Err() != nil {
+			return Result{}, fmt.Errorf("%w during warmup (no checkpoint)", ErrInterrupted)
+		}
+		chunk := uint64(measureChunk)
+		if rem := cfg.WarmupCycles - done; rem < chunk {
+			chunk = rem
+		}
+		m.Run(chunk)
+		done += chunk
+	}
+	if guard.err != nil {
+		return Result{}, guard.err
+	}
+
+	before := m.snap()
+	return m.measure(ctx, mix, before, 0, start, guard)
+}
+
+// ResumeContext continues a checkpointed run to completion and returns
+// the Result the uninterrupted run would have produced (bit-identical
+// partition limits, counters and epoch series; only wall-clock
+// throughput differs). The checkpoint's own StopAfter is cleared — the
+// interrupt that produced it is not re-armed — while its CheckpointPath
+// stays live, so a resumed run keeps checkpointing. The original trace
+// writer cannot be reattached; a resumed run keeps its epoch ring and
+// counters but emits no event trace.
+func ResumeContext(ctx context.Context, path string) (Result, error) {
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := ck.Cfg
+	cfg.StopAfter = 0
+	if ck.HasTelemetry {
+		cfg.Telemetry = &telemetry.Config{
+			Run:           ck.TelemetryRun,
+			EpochCapacity: ck.TelemetryEpochCapacity,
+			SampleEvery:   ck.TelemetrySampleEvery,
+			FullTrace:     ck.TelemetryFullTrace,
+		}
+	}
+	m := NewMachine(cfg, ck.Mix)
+	guard := m.armInvariantChecks()
+	if err := m.restoreCheckpoint(ck); err != nil {
+		return Result{}, fmt.Errorf("sim: restoring %s: %w", path, err)
+	}
+	before := snapshot{instr: ck.BeforeInstr, access: ck.BeforeAccess, miss: ck.BeforeMiss}
+	return m.measure(ctx, ck.Mix, before, ck.Measured, time.Now(), guard)
+}
+
+// measure runs the measurement window from measured cycles already done,
+// checkpointing on the configured cadence and on interruption.
+func (m *Machine) measure(ctx context.Context, mix []workload.AppParams, before snapshot, measured uint64, start time.Time, guard *invariantGuard) (Result, error) {
+	cfg := m.Cfg
+	nextCkpt := uint64(0)
+	if cfg.CheckpointPath != "" {
+		nextCkpt = measured + cfg.CheckpointEvery
+	}
+	interrupt := func() (Result, error) {
+		if cfg.CheckpointPath != "" {
+			if err := WriteCheckpoint(cfg.CheckpointPath, m.captureCheckpoint(before, measured, mix)); err != nil {
+				return Result{}, fmt.Errorf("%w; writing checkpoint failed: %v", ErrInterrupted, err)
+			}
+		}
+		return Result{}, ErrInterrupted
+	}
+	for measured < cfg.MeasureCycles {
+		if ctx.Err() != nil {
+			return interrupt()
+		}
+		if cfg.StopAfter > 0 && measured >= cfg.StopAfter {
+			return interrupt()
+		}
+		chunk := uint64(measureChunk)
+		if rem := cfg.MeasureCycles - measured; rem < chunk {
+			chunk = rem
+		}
+		if cfg.StopAfter > 0 && measured < cfg.StopAfter {
+			if rem := cfg.StopAfter - measured; rem < chunk {
+				chunk = rem
+			}
+		}
+		if nextCkpt > measured {
+			if rem := nextCkpt - measured; rem < chunk {
+				chunk = rem
+			}
+		}
+		m.Run(chunk)
+		measured += chunk
+		if guard.err != nil {
+			return Result{}, guard.err
+		}
+		if nextCkpt > 0 && measured >= nextCkpt && measured < cfg.MeasureCycles {
+			if err := WriteCheckpoint(cfg.CheckpointPath, m.captureCheckpoint(before, measured, mix)); err != nil {
+				return Result{}, fmt.Errorf("sim: periodic checkpoint: %w", err)
+			}
+			nextCkpt = measured + cfg.CheckpointEvery
+		}
+	}
+	if err := guard.final(m); err != nil {
+		return Result{}, err
+	}
+	return m.results(mix, before, time.Since(start)), nil
+}

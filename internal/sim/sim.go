@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -97,6 +98,31 @@ type Config struct {
 	// receiving the (now full) trace via a tee.
 	ReplayVerify bool
 
+	// CheckInvariants runs the internal/invariant structural checker over
+	// the adaptive scheme's state at every repartitioning evaluation and
+	// once more at the end of the run. A violation aborts the run with an
+	// error naming the invariant. No-op for the other schemes.
+	CheckInvariants bool
+
+	// CheckpointPath, when non-empty, makes RunContext write a crash-safe
+	// snapshot of the whole machine (atomically, temp-file+rename) to this
+	// path every CheckpointEvery measured cycles and when the run is
+	// interrupted, so the run can be continued with ResumeContext.
+	// Adaptive scheme only; incompatible with ReplayVerify (the verifier's
+	// trace-fed state machine cannot be checkpointed).
+	CheckpointPath string
+
+	// CheckpointEvery is the checkpoint cadence in measured cycles
+	// (default 50_000 when CheckpointPath is set).
+	CheckpointEvery uint64
+
+	// StopAfter, when non-zero, deterministically interrupts the
+	// measurement window once this many measured cycles have run, as if
+	// the context had been cancelled: a checkpoint is written (when
+	// CheckpointPath is set) and RunContext returns ErrInterrupted. Test
+	// hook for the resume-equivalence suite; Run panics on it.
+	StopAfter uint64
+
 	CPU cpu.Config
 }
 
@@ -118,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.L3BytesPerCore == 0 {
 		c.L3BytesPerCore = 1 << 20
+	}
+	if c.CheckpointPath != "" && c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 50_000
 	}
 	return c
 }
@@ -341,6 +370,16 @@ func (m *Machine) snap() snapshot {
 // its partitioning controller) see the mixed stream, then clears the
 // memory channel's timing state.
 func (m *Machine) WarmFunctional(n uint64) {
+	m.warmFunctionalSegment(n)
+	m.Memory.Reset()
+}
+
+// warmFunctionalSegment is WarmFunctional without the trailing memory
+// reset, so RunContext can warm in cancellable segments and still replay
+// the exact operation sequence of a single WarmFunctional call (the
+// channel's congestion state must persist across segment boundaries or
+// latency statistics accumulated during warmup change).
+func (m *Machine) warmFunctionalSegment(n uint64) {
 	const chunk = 2000
 	for done := uint64(0); done < n; done += chunk {
 		step := chunk
@@ -351,21 +390,24 @@ func (m *Machine) WarmFunctional(n uint64) {
 			c.WarmFunctional(uint64(step))
 		}
 	}
-	m.Memory.Reset()
 }
 
 // Run executes a full warmup+measurement simulation of the mix and
-// returns the Result. It is the package's main entry point.
+// returns the Result. It is the package's main entry point; it panics on
+// an invalid configuration or an invariant violation. RunContext is the
+// error-returning, interruptible variant.
 func Run(cfg Config, mix []workload.AppParams) Result {
-	cfg = cfg.withDefaults()
-	m := NewMachine(cfg, mix)
-	start := time.Now()
-	m.WarmFunctional(cfg.WarmupInstructions)
-	m.Run(cfg.WarmupCycles)
-	before := m.snap()
-	m.Run(cfg.MeasureCycles)
+	res, err := RunContext(context.Background(), cfg, mix)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// results assembles the Result from the measurement window's deltas.
+func (m *Machine) results(mix []workload.AppParams, before snapshot, wall time.Duration) Result {
+	cfg := m.Cfg
 	after := m.snap()
-	wall := time.Since(start)
 
 	res := Result{Scheme: cfg.Scheme}
 	for _, p := range mix {

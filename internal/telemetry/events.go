@@ -219,9 +219,13 @@ func (t *Tracer) Err() error { return t.Flush() }
 // fed straight through. This is the consistency check the telemetry
 // tests and the smoke target use: replayed transfers must reproduce the
 // simulator's final maxBlocksInSet.
+// A stream holding no events at all is rejected: a zero-byte trace is
+// indistinguishable from a run that crashed before writing anything, so
+// returning the initial limits unchanged would mask the failure.
 func ReplayLimits(r io.Reader, initial []int, run string) ([]int, error) {
 	limits := append([]int(nil), initial...)
 	dec := json.NewDecoder(r)
+	events := 0
 	for {
 		var ev DecisionEvent
 		if err := dec.Decode(&ev); err == io.EOF {
@@ -229,6 +233,7 @@ func ReplayLimits(r io.Reader, initial []int, run string) ([]int, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("telemetry: bad trace line: %w", err)
 		}
+		events++
 		if ev.Type != KindRepartition.String() || !ev.Transferred {
 			continue
 		}
@@ -240,6 +245,9 @@ func ReplayLimits(r io.Reader, initial []int, run string) ([]int, error) {
 		}
 		limits[ev.Gainer]++
 		limits[ev.Loser]--
+	}
+	if events == 0 {
+		return nil, fmt.Errorf("telemetry: trace contains no events")
 	}
 	return limits, nil
 }

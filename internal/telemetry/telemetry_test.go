@@ -238,12 +238,9 @@ func TestReplayLimitsErrors(t *testing.T) {
 	})
 
 	t.Run("empty stream", func(t *testing.T) {
-		got, err := ReplayLimits(strings.NewReader(""), []int{2, 4}, "")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got[0] != 2 || got[1] != 4 {
-			t.Fatalf("empty trace changed limits: %v", got)
+		_, err := ReplayLimits(strings.NewReader(""), []int{2, 4}, "")
+		if err == nil || !strings.Contains(err.Error(), "no events") {
+			t.Fatalf("err = %v, want a no-events error for an empty trace", err)
 		}
 	})
 }

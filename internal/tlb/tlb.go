@@ -7,7 +7,11 @@
 // performed.
 package tlb
 
-import "nucasim/internal/memaddr"
+import (
+	"fmt"
+
+	"nucasim/internal/memaddr"
+)
 
 // Config sizes a TLB. Zero fields select Table 1 defaults.
 type Config struct {
@@ -78,6 +82,27 @@ func (t *TLB) Access(addr memaddr.Addr) (penalty int) {
 func (t *TLB) Reset() {
 	t.pages = t.pages[:0]
 	t.Stats = Stats{}
+}
+
+// State is the serializable mutable state of a TLB.
+type State struct {
+	Pages []uint64
+	Stats Stats
+}
+
+// Snapshot captures the resident translations (MRU→LRU) and statistics.
+func (t *TLB) Snapshot() State {
+	return State{Pages: append([]uint64(nil), t.pages...), Stats: t.Stats}
+}
+
+// Restore loads a snapshot taken from an identically configured TLB.
+func (t *TLB) Restore(s State) error {
+	if len(s.Pages) > t.cfg.Entries {
+		return fmt.Errorf("tlb: state has %d pages, capacity %d", len(s.Pages), t.cfg.Entries)
+	}
+	t.pages = append(t.pages[:0], s.Pages...)
+	t.Stats = s.Stats
+	return nil
 }
 
 // Len reports the number of resident translations (for tests).

@@ -10,11 +10,16 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 
@@ -27,6 +32,7 @@ func main() {
 	metrics := flag.String("metrics", "", "epoch CSV to validate")
 	trace := flag.String("trace", "", "JSONL event trace to validate")
 	selfverify := flag.Bool("selfverify", false, "run a short adaptive simulation and cross-check replayed vs live cache state every epoch")
+	resumesmoke := flag.Bool("resumesmoke", false, "interrupt a pinned adaptive run mid-measurement, resume it from its checkpoint, and require results bit-identical to the uninterrupted run")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -42,6 +48,11 @@ func main() {
 	if *selfverify {
 		if err := checkSelfVerify(); err != nil {
 			fatal("selfverify: %v", err)
+		}
+	}
+	if *resumesmoke {
+		if err := checkResumeSmoke(); err != nil {
+			fatal("resumesmoke: %v", err)
 		}
 	}
 }
@@ -156,6 +167,75 @@ func checkSelfVerify() error {
 	}
 	fmt.Printf("artifactcheck: selfverify ok — %d epochs cross-checked on %s\n",
 		r.ReplayEpochsVerified, strings.Join(r.Mix, ","))
+	return nil
+}
+
+// checkResumeSmoke is the crash-safety smoke: the same pinned mixed-app
+// adaptive run is executed twice, once straight through and once
+// interrupted mid-measurement (checkpointing on the way out) and
+// resumed from the checkpoint file. Partition limits, controller
+// counters and the rendered epoch CSV must match byte for byte.
+func checkResumeSmoke() error {
+	var mix []workload.AppParams
+	for _, name := range []string{"ammp", "swim", "lucas", "gzip"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("workload %q missing from suite", name)
+		}
+		mix = append(mix, p)
+	}
+	base := sim.Config{
+		Scheme: sim.SchemeAdaptive, Seed: 1,
+		WarmupInstructions: 300_000, MeasureCycles: 150_000,
+		Telemetry:       &telemetry.Config{Run: "resume-smoke"},
+		CheckInvariants: true,
+	}
+
+	ref, err := sim.RunContext(context.Background(), base, mix)
+	if err != nil {
+		return fmt.Errorf("uninterrupted run: %w", err)
+	}
+
+	dir, err := os.MkdirTemp("", "nucasim-resumesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.ckpt")
+	cfg := base
+	cfg.CheckpointPath = path
+	cfg.StopAfter = 60_000
+	if _, err := sim.RunContext(context.Background(), cfg, mix); !errors.Is(err, sim.ErrInterrupted) {
+		return fmt.Errorf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	got, err := sim.ResumeContext(context.Background(), path)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+
+	if !reflect.DeepEqual(got.PartitionLimits, ref.PartitionLimits) {
+		return fmt.Errorf("final limits diverged: resumed %v, uninterrupted %v", got.PartitionLimits, ref.PartitionLimits)
+	}
+	if got.Repartitions != ref.Repartitions || got.Evaluations != ref.Evaluations {
+		return fmt.Errorf("controller activity diverged: resumed %d/%d, uninterrupted %d/%d",
+			got.Repartitions, got.Evaluations, ref.Repartitions, ref.Evaluations)
+	}
+	if !reflect.DeepEqual(got.Counters, ref.Counters) {
+		return fmt.Errorf("counters diverged:\nresumed       %v\nuninterrupted %v", got.Counters, ref.Counters)
+	}
+	var refCSV, gotCSV bytes.Buffer
+	if err := telemetry.WriteEpochCSV(&refCSV, ref.Epochs); err != nil {
+		return err
+	}
+	if err := telemetry.WriteEpochCSV(&gotCSV, got.Epochs); err != nil {
+		return err
+	}
+	if !bytes.Equal(refCSV.Bytes(), gotCSV.Bytes()) {
+		return fmt.Errorf("epoch CSV diverged: %d vs %d bytes (%d vs %d epochs)",
+			gotCSV.Len(), refCSV.Len(), len(got.Epochs), len(ref.Epochs))
+	}
+	fmt.Printf("artifactcheck: resumesmoke ok — interrupted at %d of %d cycles, resumed run bit-identical (%d epochs, limits %v)\n",
+		cfg.StopAfter, cfg.MeasureCycles, len(got.Epochs), got.PartitionLimits)
 	return nil
 }
 

@@ -16,10 +16,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"nucasim/internal/atomicio"
 	"nucasim/internal/llc"
 	"nucasim/internal/sim"
 	"nucasim/internal/telemetry"
@@ -85,15 +87,9 @@ func main() {
 		fatal("%v", err)
 	}
 	csvPath := filepath.Join(*out, "epoch.csv")
-	f, err := os.Create(csvPath)
-	if err != nil {
-		fatal("%v", err)
-	}
-	err = telemetry.WriteEpochCSV(f, r.Epochs)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	if err := atomicio.WriteFile(csvPath, func(w io.Writer) error {
+		return telemetry.WriteEpochCSV(w, r.Epochs)
+	}); err != nil {
 		fatal("write %s: %v", csvPath, err)
 	}
 
@@ -112,7 +108,10 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(jsonPath, func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	}); err != nil {
 		fatal("%v", err)
 	}
 
