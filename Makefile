@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke ci clean
 
 all: build
 
@@ -21,8 +21,28 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+# Benchmark the core engine paths (the adaptive access path with and
+# without telemetry, plus the end-to-end Table 1 run). The text output is
+# benchstat-compatible; benchjson folds the same stream into the
+# machine-readable BENCH_core.json benchmark record.
+bench: build
+	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveAccess|BenchmarkTable1$$' \
+		-benchmem -count=5 . | tee /tmp/nucasim-bench.txt
+	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench.txt -out BENCH_core.json \
+		-require BenchmarkAdaptiveAccess,BenchmarkTable1 \
+		-assert-zero-allocs BenchmarkAdaptiveAccess
+	@echo "bench record written to BENCH_core.json"
+
+# One-shot benchmark smoke for CI: the steady-state adaptive access path
+# must stay allocation-free (the flat-arena engine's guarantee). Fails if
+# BenchmarkAdaptiveAccess reports any allocs/op.
+bench-smoke: build
+	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveAccess$$' -benchmem \
+		-benchtime=100x -count=1 . | tee /tmp/nucasim-bench-smoke.txt
+	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench-smoke.txt \
+		-out /tmp/nucasim-bench-smoke.json \
+		-require BenchmarkAdaptiveAccess -assert-zero-allocs BenchmarkAdaptiveAccess
+	@echo bench-smoke ok
 
 # Smoke-test the observability pipeline end to end: a short adaptive run
 # must produce an epoch CSV and a JSONL trace that parse, with one CSV
@@ -57,8 +77,13 @@ golden-check: build
 
 # Detector coverage: corrupt live cache state every way core/faults.go
 # knows and require the invariant checker / replay verifier to object.
+# The nucasim run then sweeps the full I1–I9 catalog (including I9's
+# incremental-index-vs-recount cross-check) at every epoch of a live run.
 fault-coverage: build
 	$(GO) test -count=1 -v ./internal/faultinject/
+	$(GO) run ./cmd/nucasim -scheme adaptive -cycles 200000 -check-invariants \
+		> /tmp/nucasim-invariants.txt
+	@echo "invariant sweep ok (I1-I9 under -check-invariants)"
 
 # Interrupt-and-resume smoke: stop a pinned run mid-measurement via its
 # checkpoint, resume it, and require bit-identical results.
@@ -72,7 +97,7 @@ fuzz-smoke: build
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/trace/
 
-ci: vet build race smoke replay-verify golden-check fault-coverage resume-smoke fuzz-smoke
+ci: vet build race smoke replay-verify golden-check fault-coverage bench-smoke resume-smoke fuzz-smoke
 
 clean:
 	rm -f /tmp/nucasim-smoke.csv /tmp/nucasim-smoke.jsonl /tmp/nucasim-smoke.txt

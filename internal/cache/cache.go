@@ -97,9 +97,16 @@ func (c *Cache) Probe(a memaddr.Addr) bool {
 // fills are a separate Install step so callers can model miss latency and
 // choose fill policies.
 func (c *Cache) Access(a memaddr.Addr, isWrite bool) (hit bool, lruPos int) {
+	return c.AccessBlock(a.BlockNum(), isWrite)
+}
+
+// AccessBlock is Access for a precomputed block number: the hierarchy
+// derives the block number once per reference and reuses it at every
+// level, instead of re-splitting the full byte address per level.
+func (c *Cache) AccessBlock(bn memaddr.BlockNum, isWrite bool) (hit bool, lruPos int) {
 	c.Stats.Accesses++
-	s := &c.sets[c.Geom.Set(a)]
-	tag := c.Geom.Tag(a)
+	s := &c.sets[c.Geom.SetOfBlock(bn)]
+	tag := c.Geom.TagOfBlock(bn)
 	for i := range s.blocks {
 		if s.blocks[i].Valid && s.blocks[i].Tag == tag {
 			c.Stats.Hits++
@@ -124,9 +131,14 @@ func (c *Cache) Access(a memaddr.Addr, isWrite bool) (hit bool, lruPos int) {
 // duplicating (this happens when two outstanding misses to the same block
 // are not merged by the caller).
 func (c *Cache) Install(a memaddr.Addr, dirty bool, owner int) (victim Block, victimAddr memaddr.Addr) {
-	setIdx := c.Geom.Set(a)
+	return c.InstallBlock(a.BlockNum(), dirty, owner)
+}
+
+// InstallBlock is Install for a precomputed block number.
+func (c *Cache) InstallBlock(bn memaddr.BlockNum, dirty bool, owner int) (victim Block, victimAddr memaddr.Addr) {
+	setIdx := c.Geom.SetOfBlock(bn)
 	s := &c.sets[setIdx]
-	tag := c.Geom.Tag(a)
+	tag := c.Geom.TagOfBlock(bn)
 	for i := range s.blocks {
 		if s.blocks[i].Valid && s.blocks[i].Tag == tag {
 			blk := s.blocks[i]
@@ -187,8 +199,13 @@ func (c *Cache) InstallAtLRU(a memaddr.Addr, dirty bool, owner int) (victim Bloc
 // without touching LRU order or statistics. Used for writebacks arriving
 // from an upper level, which are not demand references.
 func (c *Cache) MarkDirty(a memaddr.Addr) bool {
-	s := &c.sets[c.Geom.Set(a)]
-	tag := c.Geom.Tag(a)
+	return c.MarkDirtyBlock(a.BlockNum())
+}
+
+// MarkDirtyBlock is MarkDirty for a precomputed block number.
+func (c *Cache) MarkDirtyBlock(bn memaddr.BlockNum) bool {
+	s := &c.sets[c.Geom.SetOfBlock(bn)]
+	tag := c.Geom.TagOfBlock(bn)
 	for i := range s.blocks {
 		if s.blocks[i].Valid && s.blocks[i].Tag == tag {
 			s.blocks[i].Dirty = true

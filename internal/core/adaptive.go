@@ -26,6 +26,28 @@
 // private LRU (Section 2.3). Repartitioning is lazy (Section 2.5): only
 // the limits change; blocks drain out through normal replacement.
 //
+// # Data layout
+//
+// All resident blocks live in one preallocated flat arena of 16-byte
+// nodes: each global set owns a fixed span of totalWays+1 slots (the
+// spare slot lets a fill complete before Algorithm 1 picks its victim,
+// keeping the fill→demote→evict event order). The LRU stacks — one per
+// private partition plus the shared partition — are intrusive doubly
+// linked lists threaded through the nodes via set-relative int16 slot
+// indices, so a hit promotion, a swap, a demotion, or an eviction is an
+// O(1) pointer splice with zero allocations.
+//
+// Per-(set,core) metadata is split by temperature. The hot mruEntry
+// (16 bytes: MRU tag mirror, head, tail, length) makes the dominant
+// access — a hit on the block most recently touched — decide on one
+// header line without loading any node; with four cores a whole set's
+// entries share a single 64-byte line. The cold coreCnt (4 bytes) holds
+// the incrementally maintained occupancy index (blocks owned, blocks
+// physically homed) that Algorithm 1, the home rebalancer, and the epoch
+// observer read instead of rescanning the set; RecountSet re-derives it
+// from the lists so checkers can prove the two views never diverge
+// (invariant I9).
+//
 // Interpretation choices the paper leaves implicit are documented on
 // Config.
 package core
@@ -96,53 +118,52 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// blockRec is one resident block of a global set.
-type blockRec struct {
-	tag   uint64
-	owner int16 // core that fetched the block (Figure 4(a))
-	home  int16 // local cache physically holding the block
-	dirty bool
+// maxCores bounds Config.Cores so a block's owner and home fit the packed
+// int8 node fields. The paper tops out at 16 cores (§4.5).
+const maxCores = 127
+
+// nilSlot terminates intrusive lists. Slot indices are relative to the
+// owning set's arena span.
+const nilSlot = int16(-1)
+
+// blockNode is one arena slot: a resident block's metadata plus the
+// intrusive links of whichever LRU list (private, shared, or free) it is
+// currently threaded on. Packed to 16 bytes so a stack walk touches the
+// fewest possible cache lines.
+type blockNode struct {
+	tag        uint64
+	prev, next int16 // set-relative slot indices (nilSlot = end)
+	owner      int8  // core that fetched the block (Figure 4(a))
+	home       int8  // local cache physically holding the block
+	dirty      bool
 }
 
-// gset is one global set: per-core private LRU stacks plus the shared LRU
-// stack, each ordered MRU→LRU.
-type gset struct {
-	priv   [][]blockRec
-	shared []blockRec
+// mruEntry is the hot per-(set,core) header of the private LRU stack.
+// tag mirrors the MRU node's tag whenever head != nilSlot, so the
+// dominant hit resolves against this 16-byte entry alone — with four
+// cores, one 64-byte line covers a whole set.
+type mruEntry struct {
+	tag        uint64
+	head, tail int16 // MRU→LRU endpoints (nilSlot when empty)
+	privLen    int16
+	_pad/* align 16 */ int16
 }
 
-func (s *gset) total() int {
-	n := len(s.shared)
-	for _, p := range s.priv {
-		n += len(p)
-	}
-	return n
+// coreCnt is the cold per-(set,core) half of the incremental occupancy
+// index, read off the hit fast path (Algorithm 1, home rebalance, epoch
+// observation).
+type coreCnt struct {
+	owner int16 // blocks owned in the set (private + shared) — Algorithm 1's input
+	home  int16 // blocks physically resident in this core's local cache
 }
 
-// ownerCounts fills counts with the number of blocks each core owns in the
-// set (private + shared), the quantity Algorithm 1 compares against the
-// per-core limits.
-func (s *gset) ownerCounts(counts []int) {
-	for i := range counts {
-		counts[i] = len(s.priv[i])
-	}
-	for _, b := range s.shared {
-		counts[b.owner]++
-	}
-}
-
-func (s *gset) homeCounts(counts []int) {
-	for i := range counts {
-		counts[i] = 0
-	}
-	for _, p := range s.priv {
-		for _, b := range p {
-			counts[b.home]++
-		}
-	}
-	for _, b := range s.shared {
-		counts[b.home]++
-	}
+// setHdr is the per-set header: the shared LRU stack's endpoints, the
+// free list of unused arena slots, and the set's resident-block total.
+type setHdr struct {
+	sharedHead, sharedTail int16
+	sharedLen              int16
+	freeHead               int16 // singly linked through blockNode.next
+	total                  int16 // resident blocks (private + shared)
 }
 
 // Adaptive is the paper's organization. It implements llc.Organization.
@@ -150,8 +171,19 @@ type Adaptive struct {
 	cfg       Config
 	geom      memaddr.Geometry // per-local-cache geometry
 	totalWays int
-	sets      []gset
-	mem       *dram.Memory
+
+	// Flat block arena: set i owns nodes[i*slotsPerSet : (i+1)*slotsPerSet],
+	// mru/cnts[i*Cores : (i+1)*Cores], and setHdrs[i]. slotsPerSet is
+	// totalWays+1: the spare slot lets a fill land before Algorithm 1
+	// evicts, so the event order (fill, demotions, evictions) matches the
+	// trace schema.
+	slotsPerSet int
+	nodes       []blockNode
+	mru         []mruEntry
+	cnts        []coreCnt
+	setHdrs     []setHdr
+
+	mem *dram.Memory
 
 	maxBlocks []int // Figure 4(d): per-core occupancy limit per set
 
@@ -164,11 +196,19 @@ type Adaptive struct {
 
 	// setStats aggregates sharing-engine activity per global set (fills,
 	// swaps, demotions, evictions, steals). Always maintained: the
-	// increments ride event paths that already do slice surgery, so the
-	// cost is noise. lastSetAgg is the whole-cache sum at the previous
-	// epoch boundary, for per-epoch deltas.
+	// increments ride event paths that already do pointer surgery, so the
+	// cost is noise. aggStats is the same information summed over all
+	// sets, maintained incrementally so the epoch observer never scans;
+	// lastSetAgg is its value at the previous epoch boundary, for
+	// per-epoch deltas.
 	setStats   []llc.SetStats
+	aggStats   llc.SetStats
 	lastSetAgg llc.SetStats
+
+	// Whole-cache resident-block totals, maintained incrementally for the
+	// epoch observer (the other half of killing the per-epoch full scan).
+	totalPriv   int
+	totalShared int
 
 	// Repartitions counts limit changes actually applied.
 	Repartitions uint64
@@ -189,9 +229,6 @@ type Adaptive struct {
 	ctrDemote  *telemetry.Counter
 	ctrEvict   *telemetry.Counter
 	epochStats []llc.AccessStats // per-core snapshot at the last epoch boundary
-
-	countsScratch []int
-	homesScratch  []int
 }
 
 // NewAdaptive builds the organization over the given memory model.
@@ -200,25 +237,32 @@ func NewAdaptive(cfg Config, mem *dram.Memory) *Adaptive {
 	if cfg.Cores < 2 {
 		panic("core: adaptive scheme needs at least 2 cores")
 	}
+	if cfg.Cores > maxCores {
+		panic("core: adaptive scheme supports at most 127 cores")
+	}
 	geom := memaddr.NewGeometry(cfg.BytesPerCore, cfg.LocalWays)
+	totalWays := cfg.LocalWays * cfg.Cores
+	if totalWays+1 > 1<<15-1 {
+		panic("core: global set exceeds the packed slot-index range")
+	}
 	a := &Adaptive{
-		cfg:           cfg,
-		geom:          geom,
-		totalWays:     cfg.LocalWays * cfg.Cores,
-		sets:          make([]gset, geom.Sets),
-		mem:           mem,
-		maxBlocks:     make([]int, cfg.Cores),
-		shadow:        cache.NewShadowTagTable(geom.Sets, cfg.Cores, cfg.ShadowSampleShift),
-		shadowHits:    make([]uint64, cfg.Cores),
-		lruHits:       make([]uint64, cfg.Cores),
-		perCore:       make([]llc.AccessStats, cfg.Cores),
-		setStats:      make([]llc.SetStats, geom.Sets),
-		countsScratch: make([]int, cfg.Cores),
-		homesScratch:  make([]int, cfg.Cores),
+		cfg:         cfg,
+		geom:        geom,
+		totalWays:   totalWays,
+		slotsPerSet: totalWays + 1,
+		nodes:       make([]blockNode, geom.Sets*(totalWays+1)),
+		mru:         make([]mruEntry, geom.Sets*cfg.Cores),
+		cnts:        make([]coreCnt, geom.Sets*cfg.Cores),
+		setHdrs:     make([]setHdr, geom.Sets),
+		mem:         mem,
+		maxBlocks:   make([]int, cfg.Cores),
+		shadow:      cache.NewShadowTagTable(geom.Sets, cfg.Cores, cfg.ShadowSampleShift),
+		shadowHits:  make([]uint64, cfg.Cores),
+		lruHits:     make([]uint64, cfg.Cores),
+		perCore:     make([]llc.AccessStats, cfg.Cores),
+		setStats:    make([]llc.SetStats, geom.Sets),
 	}
-	for i := range a.sets {
-		a.sets[i].priv = make([][]blockRec, cfg.Cores)
-	}
+	a.initArena()
 	initial := cfg.LocalWays * 3 / 4 // 75 % private (Section 2.1)
 	if initial < 1 {
 		initial = 1
@@ -227,6 +271,148 @@ func NewAdaptive(cfg Config, mem *dram.Memory) *Adaptive {
 		a.maxBlocks[c] = initial
 	}
 	return a
+}
+
+// initArena empties every list and threads all node slots onto the
+// per-set free lists.
+func (a *Adaptive) initArena() {
+	for c := range a.mru {
+		a.mru[c] = mruEntry{head: nilSlot, tail: nilSlot}
+		a.cnts[c] = coreCnt{}
+	}
+	for s := range a.setHdrs {
+		a.setHdrs[s] = setHdr{sharedHead: nilSlot, sharedTail: nilSlot, freeHead: nilSlot}
+		setBase := s * a.slotsPerSet
+		for w := a.slotsPerSet - 1; w >= 0; w-- {
+			a.nodes[setBase+w] = blockNode{prev: nilSlot, next: a.setHdrs[s].freeHead}
+			a.setHdrs[s].freeHead = int16(w)
+		}
+	}
+	a.totalPriv, a.totalShared = 0, 0
+}
+
+// allocNode takes a free slot from the set; freeNode returns one. Both
+// maintain the set's resident total.
+func (a *Adaptive) allocNode(setBase int, sh *setHdr) int16 {
+	n := sh.freeHead
+	if n == nilSlot {
+		panic("core: arena set exhausted — invariant broken")
+	}
+	sh.freeHead = a.nodes[setBase+int(n)].next
+	sh.total++
+	return n
+}
+
+func (a *Adaptive) freeNode(setBase int, sh *setHdr, n int16) {
+	a.nodes[setBase+int(n)] = blockNode{prev: nilSlot, next: sh.freeHead}
+	sh.freeHead = n
+	sh.total--
+}
+
+// privPushFront / privPushBack / privUnlink / privMoveToFront are the
+// private-stack splices; shared* are their shared-stack twins. All are
+// O(1). setBase is the set's first arena slot (setIdx*slotsPerSet).
+func (a *Adaptive) privPushFront(setBase int, m *mruEntry, n int16) {
+	nd := &a.nodes[setBase+int(n)]
+	nd.prev = nilSlot
+	nd.next = m.head
+	if m.head != nilSlot {
+		a.nodes[setBase+int(m.head)].prev = n
+	} else {
+		m.tail = n
+	}
+	m.head = n
+	m.tag = nd.tag
+	m.privLen++
+}
+
+func (a *Adaptive) privPushBack(setBase int, m *mruEntry, n int16) {
+	nd := &a.nodes[setBase+int(n)]
+	nd.next = nilSlot
+	nd.prev = m.tail
+	if m.tail != nilSlot {
+		a.nodes[setBase+int(m.tail)].next = n
+	} else {
+		m.head = n
+		m.tag = nd.tag
+	}
+	m.tail = n
+	m.privLen++
+}
+
+func (a *Adaptive) privUnlink(setBase int, m *mruEntry, n int16) {
+	nd := &a.nodes[setBase+int(n)]
+	if nd.prev != nilSlot {
+		a.nodes[setBase+int(nd.prev)].next = nd.next
+	} else {
+		m.head = nd.next
+		if nd.next != nilSlot {
+			m.tag = a.nodes[setBase+int(nd.next)].tag
+		}
+	}
+	if nd.next != nilSlot {
+		a.nodes[setBase+int(nd.next)].prev = nd.prev
+	} else {
+		m.tail = nd.prev
+	}
+	m.privLen--
+}
+
+// privMoveToFront promotes node n to MRU. Caller guarantees n != m.head.
+func (a *Adaptive) privMoveToFront(setBase int, m *mruEntry, n int16) {
+	nd := &a.nodes[setBase+int(n)]
+	a.nodes[setBase+int(nd.prev)].next = nd.next // nd.prev != nilSlot: n is not head
+	if nd.next != nilSlot {
+		a.nodes[setBase+int(nd.next)].prev = nd.prev
+	} else {
+		m.tail = nd.prev
+	}
+	nd.prev = nilSlot
+	nd.next = m.head
+	a.nodes[setBase+int(m.head)].prev = n
+	m.head = n
+	m.tag = nd.tag
+}
+
+func (a *Adaptive) sharedPushFront(setBase int, sh *setHdr, n int16) {
+	nd := &a.nodes[setBase+int(n)]
+	nd.prev = nilSlot
+	nd.next = sh.sharedHead
+	if sh.sharedHead != nilSlot {
+		a.nodes[setBase+int(sh.sharedHead)].prev = n
+	} else {
+		sh.sharedTail = n
+	}
+	sh.sharedHead = n
+	sh.sharedLen++
+}
+
+func (a *Adaptive) sharedPushBack(setBase int, sh *setHdr, n int16) {
+	nd := &a.nodes[setBase+int(n)]
+	nd.next = nilSlot
+	nd.prev = sh.sharedTail
+	if sh.sharedTail != nilSlot {
+		a.nodes[setBase+int(sh.sharedTail)].next = n
+	} else {
+		sh.sharedHead = n
+	}
+	sh.sharedTail = n
+	sh.sharedLen++
+}
+
+func (a *Adaptive) sharedUnlink(setBase int, sh *setHdr, n int16) {
+	nd := &a.nodes[setBase+int(n)]
+	if nd.prev != nilSlot {
+		a.nodes[setBase+int(nd.prev)].next = nd.next
+	} else {
+		sh.sharedHead = nd.next
+	}
+	if nd.next != nilSlot {
+		a.nodes[setBase+int(nd.next)].prev = nd.prev
+	} else {
+		sh.sharedTail = nd.prev
+	}
+	sh.sharedLen--
 }
 
 // Name implements llc.Organization.
@@ -285,43 +471,68 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	st.Accesses++
 	setIdx := a.geom.Set(addr)
 	tag := a.geom.Tag(addr)
-	s := &a.sets[setIdx]
+	base := setIdx * a.cfg.Cores
+	setBase := setIdx * a.slotsPerSet
 
 	// Phase 1: the requester's private partition (Section 2, "two phase
-	// process").
-	priv := s.priv[coreID]
-	for i := range priv {
-		if priv[i].tag == tag {
-			if i == len(priv)-1 {
-				// Hit in the LRU block: one fewer way would have
-				// missed (Section 2.1).
-				a.lruHits[coreID]++
-			}
-			blk := priv[i]
-			blk.dirty = blk.dirty || write
+	// process"). The MRU position hits first and overwhelmingly most
+	// often; its tag is mirrored in the 16-byte header, so the common
+	// case decides on the header's cache line alone and only touches the
+	// node for a write's dirty bit or a trace event.
+	m := &a.mru[base+coreID]
+	if m.tag == tag && m.head != nilSlot {
+		if m.head == m.tail {
+			// Hit in the LRU block: one fewer way would have
+			// missed (Section 2.1).
+			a.lruHits[coreID]++
+		}
+		if write || a.trace != nil {
+			nd := &a.nodes[setBase+int(m.head)]
+			nd.dirty = nd.dirty || write
 			if a.trace != nil {
 				a.trace.Block(telemetry.KindHit, telemetry.BlockEvent{
-					Cycle: now, Core: coreID, Owner: int(blk.owner), Set: setIdx,
-					Tag: tag, Depth: i, Home: int(blk.home), Dirty: blk.dirty,
+					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
+					Tag: tag, Depth: 0, Home: int(nd.home), Dirty: nd.dirty,
 				})
 			}
-			copy(priv[1:i+1], priv[:i])
-			priv[0] = blk
+		}
+		st.LocalHits++
+		lat := uint64(a.cfg.Latencies.LocalHit)
+		st.TotalLatency += lat
+		return now + lat, true
+	}
+	for n, depth := m.head, 0; n != nilSlot; depth++ {
+		nd := &a.nodes[setBase+int(n)]
+		if nd.tag == tag {
+			if n == m.tail {
+				a.lruHits[coreID]++
+			}
+			nd.dirty = nd.dirty || write
+			if a.trace != nil {
+				a.trace.Block(telemetry.KindHit, telemetry.BlockEvent{
+					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
+					Tag: tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
+				})
+			}
+			a.privMoveToFront(setBase, m, n) // n != m.head: the mirror ruled that out
 			st.LocalHits++
 			lat := uint64(a.cfg.Latencies.LocalHit)
 			st.TotalLatency += lat
 			return now + lat, true
 		}
+		n = nd.next
 	}
 
 	// Phase 2: the rest of the set — "the tags for all blocks in the set
 	// are compared" (§2.5): the shared partition and, for workloads with
 	// genuinely shared blocks (parallel mode), other cores' private
 	// partitions, all checked in parallel by the hardware.
-	for i := range s.shared {
-		if s.shared[i].tag == tag {
-			blk := s.shared[i]
-			local := int(blk.home) == coreID
+	sh := &a.setHdrs[setIdx]
+	cnts := a.cnts[base : base+a.cfg.Cores]
+	for n, depth := sh.sharedHead, 0; n != nilSlot; depth++ {
+		nd := &a.nodes[setBase+int(n)]
+		if nd.tag == tag {
+			local := int(nd.home) == coreID
 			lat := uint64(a.cfg.Latencies.RemoteHit)
 			if local {
 				lat = uint64(a.cfg.Latencies.LocalHit)
@@ -336,54 +547,68 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			// becomes shared-MRU.
 			a.ctrSwap.Inc()
 			a.setStats[setIdx].Swaps++
+			a.aggStats.Swaps++
 			if a.trace != nil {
 				a.trace.Block(telemetry.KindSwap, telemetry.BlockEvent{
-					Cycle: now, Core: coreID, Owner: int(blk.owner), Set: setIdx,
-					Tag: tag, Depth: i, Home: int(blk.home), Dirty: blk.dirty,
+					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
+					Tag: tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 				})
 			}
-			oldHome := blk.home
-			s.shared = append(s.shared[:i], s.shared[i+1:]...)
-			blk.dirty = blk.dirty || write
+			oldHome := nd.home
+			a.sharedUnlink(setBase, sh, n)
+			cnts[nd.owner].owner--
+			cnts[nd.home].home--
+			a.totalShared--
+			nd.dirty = nd.dirty || write
 			// Figure 4(a): the core ID field is updated with the
 			// requesting core on every install; for multiprogrammed
 			// workloads the owner never actually changes, but shared
 			// (parallel-mode) blocks follow their most recent user.
-			blk.owner = int16(coreID)
-			blk.home = int16(coreID)
-			a.adoptIntoPrivate(s, coreID, blk, oldHome, setIdx, now)
+			nd.owner = int8(coreID)
+			nd.home = int8(coreID)
+			cnts[coreID].owner++
+			cnts[coreID].home++
+			a.totalPriv++
+			a.adoptIntoPrivate(setIdx, coreID, n, oldHome, now)
 			return now + lat, true
 		}
+		n = nd.next
 	}
-	for other := range s.priv {
+	for other := 0; other < a.cfg.Cores; other++ {
 		if other == coreID {
 			continue
 		}
-		op := s.priv[other]
-		for i := range op {
-			if op[i].tag != tag {
+		om := &a.mru[base+other]
+		for n, depth := om.head, 0; n != nilSlot; depth++ {
+			nd := &a.nodes[setBase+int(n)]
+			if nd.tag != tag {
+				n = nd.next
 				continue
 			}
 			// Hit in a neighbor's private partition (shared data):
 			// migrate to the requester, like a neighbor-cache hit.
-			blk := op[i]
 			a.ctrMigrate.Inc()
 			a.setStats[setIdx].Migrations++
+			a.aggStats.Migrations++
 			if a.trace != nil {
 				a.trace.Block(telemetry.KindMigrate, telemetry.BlockEvent{
-					Cycle: now, Core: coreID, Owner: int(blk.owner), Set: setIdx,
-					Tag: tag, Depth: i, Home: int(blk.home), Dirty: blk.dirty,
+					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
+					Tag: tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 				})
 			}
-			s.priv[other] = append(op[:i], op[i+1:]...)
+			a.privUnlink(setBase, om, n)
+			cnts[other].owner--
+			cnts[other].home--
 			st.RemoteHits++
 			lat := uint64(a.cfg.Latencies.RemoteHit)
 			st.TotalLatency += lat
-			oldHome := blk.home
-			blk.dirty = blk.dirty || write
-			blk.owner = int16(coreID) // requester is the new fetcher
-			blk.home = int16(coreID)
-			a.adoptIntoPrivate(s, coreID, blk, oldHome, setIdx, now)
+			oldHome := nd.home
+			nd.dirty = nd.dirty || write
+			nd.owner = int8(coreID) // requester is the new fetcher
+			nd.home = int8(coreID)
+			cnts[coreID].owner++
+			cnts[coreID].home++
+			a.adoptIntoPrivate(setIdx, coreID, n, oldHome, now)
 			return now + lat, true
 		}
 	}
@@ -397,10 +622,14 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	ready, _ := a.mem.ReadBlock(now)
 	st.TotalLatency += ready - now
 
-	s.priv[coreID] = prependBlock(s.priv[coreID], blockRec{
-		tag: tag, owner: int16(coreID), home: int16(coreID), dirty: write,
-	})
+	n := a.allocNode(setBase, sh)
+	a.nodes[setBase+int(n)] = blockNode{tag: tag, owner: int8(coreID), home: int8(coreID), dirty: write, prev: nilSlot, next: nilSlot}
+	a.privPushFront(setBase, m, n)
+	cnts[coreID].owner++
+	cnts[coreID].home++
+	a.totalPriv++
 	a.setStats[setIdx].Fills++
+	a.aggStats.Fills++
 	if a.trace != nil {
 		a.trace.Block(telemetry.KindFill, telemetry.BlockEvent{
 			Cycle: now, Core: coreID, Owner: coreID, Set: setIdx,
@@ -409,26 +638,30 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	}
 	// Lazy repartitioning: drain the private partition down to its
 	// current target (Section 2.5).
-	for len(s.priv[coreID]) > a.privTarget(coreID) {
-		depth := len(s.priv[coreID]) - 1
-		demoted := s.priv[coreID][depth]
-		s.priv[coreID] = s.priv[coreID][:depth]
+	for int(m.privLen) > a.privTarget(coreID) {
+		depth := int(m.privLen) - 1
+		dn := m.tail
+		nd := &a.nodes[setBase+int(dn)]
+		a.privUnlink(setBase, m, dn)
 		st.Demotions++
 		a.ctrDemote.Inc()
 		a.setStats[setIdx].Demotions++
+		a.aggStats.Demotions++
 		if a.trace != nil {
 			a.trace.Block(telemetry.KindDemote, telemetry.BlockEvent{
-				Cycle: now, Core: coreID, Owner: int(demoted.owner), Set: setIdx,
-				Tag: demoted.tag, Depth: depth, Home: int(demoted.home), Dirty: demoted.dirty,
+				Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
+				Tag: nd.tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 			})
 		}
-		s.shared = prependBlock(s.shared, demoted)
+		a.sharedPushFront(setBase, sh, dn)
+		a.totalPriv--
+		a.totalShared++
 	}
 	// Evict until the global set fits its slots (Algorithm 1).
-	for s.total() > a.totalWays {
-		a.evictAlgorithm1(setIdx, coreID, s, now)
+	for int(sh.total) > a.totalWays {
+		a.evictAlgorithm1(setIdx, coreID, now)
 	}
-	a.rebalanceHomes(s)
+	a.rebalanceHomes(setIdx)
 
 	a.missesSinceRepart++
 	if a.missesSinceRepart >= a.cfg.RepartitionPeriod && !a.cfg.DisableAdaptation {
@@ -437,81 +670,108 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	return ready, false
 }
 
-// adoptIntoPrivate inserts a migrated block at the requester's private MRU
-// position, demoting the private LRU into the slot the block vacated
-// (Section 2.3's swap), then restores the physical-home invariant.
-func (a *Adaptive) adoptIntoPrivate(s *gset, coreID int, blk blockRec, vacatedHome int16, setIdx int, now uint64) {
+// adoptIntoPrivate inserts a migrated block (arena node n, already
+// reowned/rehomed to coreID and counted in the occupancy index) at the
+// requester's private MRU position, demoting the private LRU into the
+// slot the block vacated (Section 2.3's swap), then restores the
+// physical-home invariant.
+func (a *Adaptive) adoptIntoPrivate(setIdx, coreID int, n int16, vacatedHome int8, now uint64) {
+	setBase := setIdx * a.slotsPerSet
+	base := setIdx * a.cfg.Cores
 	// The block re-enters coreID's partition without a fill, so a shadow
 	// register still naming it would alias a resident block. For disjoint
 	// per-core address spaces this never fires (the re-fill's Match already
 	// consumed the entry); it matters for parallel-mode shared blocks.
-	a.shadow.Invalidate(setIdx, coreID, blk.tag)
-	s.priv[coreID] = prependBlock(s.priv[coreID], blk)
-	if len(s.priv[coreID]) > a.privTarget(coreID) {
-		depth := len(s.priv[coreID]) - 1
-		demoted := s.priv[coreID][depth]
-		s.priv[coreID] = s.priv[coreID][:depth]
-		demoted.home = vacatedHome // physical swap
+	a.shadow.Invalidate(setIdx, coreID, a.nodes[setBase+int(n)].tag)
+	m := &a.mru[base+coreID]
+	a.privPushFront(setBase, m, n)
+	if int(m.privLen) > a.privTarget(coreID) {
+		depth := int(m.privLen) - 1
+		dn := m.tail
+		nd := &a.nodes[setBase+int(dn)]
+		a.privUnlink(setBase, m, dn)
+		// Physical swap: the demoted block (home == coreID, it was
+		// private) takes the slot the promoted block vacated.
+		a.cnts[base+int(nd.home)].home--
+		nd.home = vacatedHome
+		a.cnts[base+int(vacatedHome)].home++
 		a.perCore[coreID].Demotions++
 		a.ctrDemote.Inc()
 		a.setStats[setIdx].Demotions++
+		a.aggStats.Demotions++
 		if a.trace != nil {
 			a.trace.Block(telemetry.KindDemote, telemetry.BlockEvent{
-				Cycle: now, Core: coreID, Owner: int(demoted.owner), Set: setIdx,
-				Tag: demoted.tag, Depth: depth, Home: int(demoted.home), Dirty: demoted.dirty,
+				Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
+				Tag: nd.tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 			})
 		}
-		s.shared = prependBlock(s.shared, demoted)
+		a.sharedPushFront(setBase, &a.setHdrs[setIdx], dn)
+		a.totalPriv--
+		a.totalShared++
 	}
-	a.rebalanceHomes(s)
-}
-
-// prependBlock inserts b at the MRU position.
-func prependBlock(stack []blockRec, b blockRec) []blockRec {
-	stack = append(stack, blockRec{})
-	copy(stack[1:], stack[:len(stack)-1])
-	stack[0] = b
-	return stack
+	a.rebalanceHomes(setIdx)
 }
 
 // evictAlgorithm1 removes one block from the shared partition following
 // Algorithm 1 and hands it to memory (shadow-tag record + writeback).
 // requester is the core whose fill forced the eviction (telemetry only).
-func (a *Adaptive) evictAlgorithm1(setIdx, requester int, s *gset, now uint64) {
-	if len(s.shared) == 0 {
+// The over-limit owner test reads the incremental occupancy index, so the
+// common under-limit case costs one O(cores) check instead of a set scan.
+func (a *Adaptive) evictAlgorithm1(setIdx, requester int, now uint64) {
+	sh := &a.setHdrs[setIdx]
+	if sh.sharedLen == 0 {
 		panic("core: shared partition empty during eviction — invariant broken")
 	}
-	victimIdx := len(s.shared) - 1 // step 8: global LRU fallback
+	setBase := setIdx * a.slotsPerSet
+	base := setIdx * a.cfg.Cores
+	cnts := a.cnts[base : base+a.cfg.Cores]
+	victim := sh.sharedTail // step 8: global LRU fallback
+	depth := int(sh.sharedLen) - 1
 	overLimit := false
 	if !a.cfg.DisableProtection {
-		s.ownerCounts(a.countsScratch)
-		for i := len(s.shared) - 1; i >= 0; i-- {
-			owner := s.shared[i].owner
-			if a.countsScratch[owner] > a.maxBlocks[owner] {
-				victimIdx = i
-				overLimit = true
+		anyOver := false
+		for c := range cnts {
+			if int(cnts[c].owner) > a.maxBlocks[c] {
+				anyOver = true
 				break
 			}
 		}
+		if anyOver {
+			for n, i := sh.sharedTail, int(sh.sharedLen)-1; n != nilSlot; i-- {
+				owner := a.nodes[setBase+int(n)].owner
+				if int(cnts[owner].owner) > a.maxBlocks[owner] {
+					victim, depth, overLimit = n, i, true
+					break
+				}
+				n = a.nodes[setBase+int(n)].prev
+			}
+		}
 	}
-	victim := s.shared[victimIdx]
-	s.shared = append(s.shared[:victimIdx], s.shared[victimIdx+1:]...)
+	nd := &a.nodes[setBase+int(victim)]
+	vTag, vOwner, vHome, vDirty := nd.tag, nd.owner, nd.home, nd.dirty
+	a.sharedUnlink(setBase, sh, victim)
+	cnts[vOwner].owner--
+	cnts[vHome].home--
+	a.freeNode(setBase, sh, victim)
+	a.totalShared--
 	a.ctrEvict.Inc()
 	a.setStats[setIdx].Evictions++
-	if int(victim.owner) != requester {
+	a.aggStats.Evictions++
+	if int(vOwner) != requester {
 		a.setStats[setIdx].Steals++
+		a.aggStats.Steals++
 	}
 	if a.trace != nil {
 		a.trace.Block(telemetry.KindEvict, telemetry.BlockEvent{
-			Cycle: now, Core: requester, Owner: int(victim.owner), Set: setIdx,
-			Tag: victim.tag, Depth: victimIdx, Home: int(victim.home),
-			Dirty: victim.dirty, OverLimit: overLimit,
+			Cycle: now, Core: requester, Owner: int(vOwner), Set: setIdx,
+			Tag: vTag, Depth: depth, Home: int(vHome),
+			Dirty: vDirty, OverLimit: overLimit,
 		})
 	}
-	a.shadow.Record(setIdx, int(victim.owner), victim.tag)
-	ost := &a.perCore[victim.owner]
+	a.shadow.Record(setIdx, int(vOwner), vTag)
+	ost := &a.perCore[vOwner]
 	ost.Evictions++
-	if victim.dirty {
+	if vDirty {
 		ost.Writebacks++
 		a.mem.Writeback(now)
 	}
@@ -521,14 +781,18 @@ func (a *Adaptive) evictAlgorithm1(setIdx, requester int, s *gset, now uint64) {
 // holds at most LocalWays blocks, by relocating shared-partition blocks
 // (private blocks never move; they are always home at their owner). The
 // MRU-most overflow block moves — on the miss path that is the block just
-// demoted into the slot vacated by the Algorithm 1 victim.
-func (a *Adaptive) rebalanceHomes(s *gset) {
-	counts := a.homesScratch
-	s.homeCounts(counts)
+// demoted into the slot vacated by the Algorithm 1 victim. The overflow
+// test reads the incremental home counters, so the common balanced case
+// is O(cores) with no set scan.
+func (a *Adaptive) rebalanceHomes(setIdx int) {
+	base := setIdx * a.cfg.Cores
+	setBase := setIdx * a.slotsPerSet
+	cnts := a.cnts[base : base+a.cfg.Cores]
+	ways := int16(a.cfg.LocalWays)
 	for {
 		over := -1
-		for c, n := range counts {
-			if n > a.cfg.LocalWays {
+		for c := range cnts {
+			if cnts[c].home > ways {
 				over = c
 				break
 			}
@@ -537,23 +801,25 @@ func (a *Adaptive) rebalanceHomes(s *gset) {
 			return
 		}
 		moved := false
-		for i := range s.shared { // MRU-most first
-			if int(s.shared[i].home) != over {
+		for n := a.setHdrs[setIdx].sharedHead; n != nilSlot; { // MRU-most first
+			nd := &a.nodes[setBase+int(n)]
+			if int(nd.home) != over {
+				n = nd.next
 				continue
 			}
 			dest := -1
-			for h, n := range counts {
-				if n < a.cfg.LocalWays {
-					dest = h
+			for c := range cnts {
+				if cnts[c].home < ways {
+					dest = c
 					break
 				}
 			}
 			if dest < 0 {
 				panic("core: no destination slot during home rebalance — invariant broken")
 			}
-			s.shared[i].home = int16(dest)
-			counts[over]--
-			counts[dest]++
+			nd.home = int8(dest)
+			cnts[over].home--
+			cnts[dest].home++
 			moved = true
 			break
 		}
@@ -609,19 +875,11 @@ func (a *Adaptive) repartition(now uint64) {
 }
 
 // observeEpoch records the evaluation just decided into the telemetry
-// epoch ring and event trace. Called off the hot path (once per
-// RepartitionPeriod misses), so the occupancy scan over all global sets
-// and the slice copies are affordable.
+// epoch ring and event trace. Occupancy and activity totals come from the
+// incrementally maintained whole-cache counters (totalPriv, totalShared,
+// aggStats), so the observer is O(cores) — it no longer scans the sets.
 func (a *Adaptive) observeEpoch(now uint64, gainer, loser int, gain, loss float64, transferred bool) {
-	privBlocks, sharedBlocks := 0, 0
-	var agg llc.SetStats
-	for i := range a.sets {
-		for _, p := range a.sets[i].priv {
-			privBlocks += len(p)
-		}
-		sharedBlocks += len(a.sets[i].shared)
-		agg.Add(a.setStats[i])
-	}
+	agg := a.aggStats
 	s := telemetry.EpochSample{
 		Eval:          a.Evaluations,
 		Cycle:         now,
@@ -633,8 +891,8 @@ func (a *Adaptive) observeEpoch(now uint64, gainer, loser int, gain, loss float6
 		Gain:          gain,
 		Loss:          loss,
 		Transferred:   transferred,
-		PrivateBlocks: privBlocks,
-		SharedBlocks:  sharedBlocks,
+		PrivateBlocks: a.totalPriv,
+		SharedBlocks:  a.totalShared,
 		EpochAccesses: make([]uint64, a.cfg.Cores),
 		EpochMisses:   make([]uint64, a.cfg.Cores),
 
@@ -680,21 +938,25 @@ func (a *Adaptive) Counters() (shadowHits, lruHits []uint64) {
 func (a *Adaptive) WritebackFromL2(coreID int, addr memaddr.Addr, now uint64) {
 	setIdx := a.geom.Set(addr)
 	tag := a.geom.Tag(addr)
-	s := &a.sets[setIdx]
-	for c := range s.priv {
-		priv := s.priv[c]
-		for i := range priv {
-			if priv[i].tag == tag {
-				priv[i].dirty = true
+	base := setIdx * a.cfg.Cores
+	setBase := setIdx * a.slotsPerSet
+	for c := 0; c < a.cfg.Cores; c++ {
+		for n := a.mru[base+c].head; n != nilSlot; {
+			nd := &a.nodes[setBase+int(n)]
+			if nd.tag == tag {
+				nd.dirty = true
 				return
 			}
+			n = nd.next
 		}
 	}
-	for i := range s.shared {
-		if s.shared[i].tag == tag {
-			s.shared[i].dirty = true
+	for n := a.setHdrs[setIdx].sharedHead; n != nilSlot; {
+		nd := &a.nodes[setBase+int(n)]
+		if nd.tag == tag {
+			nd.dirty = true
 			return
 		}
+		n = nd.next
 	}
 	a.mem.Writeback(now)
 	a.perCore[coreID].Writebacks++
@@ -722,12 +984,7 @@ func (a *Adaptive) TotalStats() llc.AccessStats {
 // Reset implements llc.Organization: contents, counters and limits return
 // to the initial state.
 func (a *Adaptive) Reset() {
-	for i := range a.sets {
-		for c := range a.sets[i].priv {
-			a.sets[i].priv[c] = a.sets[i].priv[c][:0]
-		}
-		a.sets[i].shared = a.sets[i].shared[:0]
-	}
+	a.initArena()
 	a.shadow.Reset()
 	initial := a.cfg.LocalWays * 3 / 4
 	if initial < 1 {
@@ -745,6 +1002,7 @@ func (a *Adaptive) Reset() {
 	for i := range a.setStats {
 		a.setStats[i] = llc.SetStats{}
 	}
+	a.aggStats = llc.SetStats{}
 	a.lastSetAgg = llc.SetStats{}
 	a.missesSinceRepart = 0
 	a.Repartitions = 0
@@ -758,18 +1016,21 @@ func (a *Adaptive) Memory() *dram.Memory { return a.mem }
 func (a *Adaptive) Probe(addr memaddr.Addr) bool {
 	setIdx := a.geom.Set(addr)
 	tag := a.geom.Tag(addr)
-	s := &a.sets[setIdx]
-	for _, p := range s.priv {
-		for _, b := range p {
-			if b.tag == tag {
+	base := setIdx * a.cfg.Cores
+	setBase := setIdx * a.slotsPerSet
+	for c := 0; c < a.cfg.Cores; c++ {
+		for n := a.mru[base+c].head; n != nilSlot; {
+			if a.nodes[setBase+int(n)].tag == tag {
 				return true
 			}
+			n = a.nodes[setBase+int(n)].next
 		}
 	}
-	for _, b := range s.shared {
-		if b.tag == tag {
+	for n := a.setHdrs[setIdx].sharedHead; n != nilSlot; {
+		if a.nodes[setBase+int(n)].tag == tag {
 			return true
 		}
+		n = a.nodes[setBase+int(n)].next
 	}
 	return false
 }
@@ -810,6 +1071,14 @@ func (a *Adaptive) SetStats() []llc.SetStats {
 	return out
 }
 
+// BlockTotals returns the incrementally maintained whole-cache resident
+// totals (private blocks, shared blocks) and the whole-cache activity
+// aggregate — the values observeEpoch reads. Checkers compare them
+// against a full recount (invariant I9).
+func (a *Adaptive) BlockTotals() (privBlocks, sharedBlocks int, agg llc.SetStats) {
+	return a.totalPriv, a.totalShared, a.aggStats
+}
+
 // SetDump is the replay-comparable content of one global set: per-core
 // private tags and the shared stack's tags and owners, all MRU→LRU.
 // Physical homes and dirty bits are deliberately omitted — they are
@@ -822,24 +1091,41 @@ type SetDump struct {
 	SharedOwners []int
 }
 
-// DumpSet captures global set idx for a replay cross-check.
+// DumpSet captures global set idx for a replay cross-check, allocating a
+// fresh dump. Loops should use DumpSetInto with a reused scratch dump.
 func (a *Adaptive) DumpSet(idx int) SetDump {
-	s := &a.sets[idx]
-	d := SetDump{Priv: make([][]uint64, a.cfg.Cores)}
-	for c, p := range s.priv {
-		tags := make([]uint64, len(p))
-		for i, b := range p {
-			tags[i] = b.tag
+	var d SetDump
+	a.DumpSetInto(idx, &d)
+	return d
+}
+
+// DumpSetInto fills d with the content of global set idx, reusing d's
+// slices when they have capacity — the per-epoch verifier sweep does not
+// allocate once the scratch dump has grown to the set shape.
+func (a *Adaptive) DumpSetInto(idx int, d *SetDump) {
+	cores := a.cfg.Cores
+	if cap(d.Priv) < cores {
+		d.Priv = make([][]uint64, cores)
+	}
+	d.Priv = d.Priv[:cores]
+	base := idx * cores
+	setBase := idx * a.slotsPerSet
+	for c := 0; c < cores; c++ {
+		tags := d.Priv[c][:0]
+		for n := a.mru[base+c].head; n != nilSlot; {
+			tags = append(tags, a.nodes[setBase+int(n)].tag)
+			n = a.nodes[setBase+int(n)].next
 		}
 		d.Priv[c] = tags
 	}
-	d.SharedTags = make([]uint64, len(s.shared))
-	d.SharedOwners = make([]int, len(s.shared))
-	for i, b := range s.shared {
-		d.SharedTags[i] = b.tag
-		d.SharedOwners[i] = int(b.owner)
+	d.SharedTags = d.SharedTags[:0]
+	d.SharedOwners = d.SharedOwners[:0]
+	for n := a.setHdrs[idx].sharedHead; n != nilSlot; {
+		nd := &a.nodes[setBase+int(n)]
+		d.SharedTags = append(d.SharedTags, nd.tag)
+		d.SharedOwners = append(d.SharedOwners, int(nd.owner))
+		n = nd.next
 	}
-	return d
 }
 
 // OccupancyOfSet describes one global set for inspection: per-core private
@@ -851,26 +1137,94 @@ type OccupancyOfSet struct {
 	ByHome       []int
 }
 
-// InspectSet returns the occupancy of global set idx (tests/examples).
+// InspectSet returns the occupancy of global set idx (tests/examples),
+// allocating a fresh record. Loops should use InspectSetInto.
 func (a *Adaptive) InspectSet(idx int) OccupancyOfSet {
-	s := &a.sets[idx]
-	occ := OccupancyOfSet{
-		Private: make([]int, a.cfg.Cores),
-		ByOwner: make([]int, a.cfg.Cores),
-		ByHome:  make([]int, a.cfg.Cores),
-	}
-	for c, p := range s.priv {
-		occ.Private[c] = len(p)
-	}
-	occ.SharedBlocks = len(s.shared)
-	s.ownerCounts(occ.ByOwner)
-	s.homeCounts(occ.ByHome)
+	var occ OccupancyOfSet
+	a.InspectSetInto(idx, &occ)
 	return occ
 }
 
+// resizeInts returns s with length n, reusing capacity, zero-filled.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// InspectSetInto fills occ from the incremental occupancy index — O(cores)
+// reads of the set's headers, no block scan, no allocation once occ's
+// slices have grown to the core count.
+func (a *Adaptive) InspectSetInto(idx int, occ *OccupancyOfSet) {
+	cores := a.cfg.Cores
+	occ.Private = resizeInts(occ.Private, cores)
+	occ.ByOwner = resizeInts(occ.ByOwner, cores)
+	occ.ByHome = resizeInts(occ.ByHome, cores)
+	base := idx * cores
+	for c := 0; c < cores; c++ {
+		occ.Private[c] = int(a.mru[base+c].privLen)
+		occ.ByOwner[c] = int(a.cnts[base+c].owner)
+		occ.ByHome[c] = int(a.cnts[base+c].home)
+	}
+	occ.SharedBlocks = int(a.setHdrs[idx].sharedLen)
+}
+
+// RecountSet re-derives the occupancy of global set idx by walking the
+// block lists, ignoring the incremental counters. Comparing it against
+// InspectSet is invariant I9: the incremental index must equal a full
+// recount. Walks are bounded by the arena span, so a corrupted (cyclic)
+// list yields a mismatching count instead of a hang.
+func (a *Adaptive) RecountSet(idx int) OccupancyOfSet {
+	var occ OccupancyOfSet
+	a.RecountSetInto(idx, &occ)
+	return occ
+}
+
+// RecountSetInto is RecountSet with a caller-provided scratch record.
+func (a *Adaptive) RecountSetInto(idx int, occ *OccupancyOfSet) {
+	cores := a.cfg.Cores
+	occ.Private = resizeInts(occ.Private, cores)
+	occ.ByOwner = resizeInts(occ.ByOwner, cores)
+	occ.ByHome = resizeInts(occ.ByHome, cores)
+	occ.SharedBlocks = 0
+	base := idx * cores
+	setBase := idx * a.slotsPerSet
+	count := func(n int16) bool {
+		nd := &a.nodes[setBase+int(n)]
+		if int(nd.owner) < 0 || int(nd.owner) >= cores || int(nd.home) < 0 || int(nd.home) >= cores {
+			return false
+		}
+		occ.ByOwner[nd.owner]++
+		occ.ByHome[nd.home]++
+		return true
+	}
+	for c := 0; c < cores; c++ {
+		for n, steps := a.mru[base+c].head, 0; n != nilSlot && steps <= a.slotsPerSet; steps++ {
+			occ.Private[c]++
+			if !count(n) {
+				return
+			}
+			n = a.nodes[setBase+int(n)].next
+		}
+	}
+	for n, steps := a.setHdrs[idx].sharedHead, 0; n != nilSlot && steps <= a.slotsPerSet; steps++ {
+		occ.SharedBlocks++
+		if !count(n) {
+			return
+		}
+		n = a.nodes[setBase+int(n)].next
+	}
+}
+
 // CheckInvariants validates the structural invariants of every global set
-// and the controller; it returns a description of the first violation or
-// the empty string. Exercised by property tests.
+// and the controller — including that the incremental occupancy index and
+// whole-cache totals match a full recount — and returns a description of
+// the first violation or the empty string. Exercised by property tests.
 func (a *Adaptive) CheckInvariants() string {
 	sumLimits := 0
 	for c, m := range a.maxBlocks {
@@ -886,45 +1240,115 @@ func (a *Adaptive) CheckInvariants() string {
 	if sumLimits != initial*a.cfg.Cores {
 		return fmt.Sprintf("limits sum %d, want %d", sumLimits, initial*a.cfg.Cores)
 	}
-	homes := make([]int, a.cfg.Cores)
-	for i := range a.sets {
-		s := &a.sets[i]
-		if s.total() > a.totalWays {
-			return fmt.Sprintf("set %d holds %d blocks > %d", i, s.total(), a.totalWays)
-		}
+	sumPriv, sumShared := 0, 0
+	var sumStats llc.SetStats
+	for i := range a.setHdrs {
+		sh := &a.setHdrs[i]
+		base := i * a.cfg.Cores
+		setBase := i * a.slotsPerSet
+		total := 0
 		seen := map[uint64]bool{}
-		for c, p := range s.priv {
-			if len(p) > a.cfg.LocalWays {
-				return fmt.Sprintf("set %d core %d private %d > ways", i, c, len(p))
-			}
-			for _, b := range p {
-				if int(b.owner) != c || int(b.home) != c {
-					return fmt.Sprintf("set %d: private block of core %d has owner %d home %d", i, c, b.owner, b.home)
+		for c := 0; c < a.cfg.Cores; c++ {
+			m := &a.mru[base+c]
+			walked := 0
+			prev := nilSlot
+			for n := m.head; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+				nd := &a.nodes[setBase+int(n)]
+				if nd.prev != prev {
+					return fmt.Sprintf("set %d core %d: broken private back-link at slot %d", i, c, n)
 				}
-				if seen[b.tag] {
-					return fmt.Sprintf("set %d: duplicate tag %#x", i, b.tag)
+				if int(nd.owner) != c || int(nd.home) != c {
+					return fmt.Sprintf("set %d: private block of core %d has owner %d home %d", i, c, nd.owner, nd.home)
 				}
-				seen[b.tag] = true
+				if seen[nd.tag] {
+					return fmt.Sprintf("set %d: duplicate tag %#x", i, nd.tag)
+				}
+				seen[nd.tag] = true
+				walked++
+				if walked > a.slotsPerSet {
+					return fmt.Sprintf("set %d core %d: private list does not terminate", i, c)
+				}
+				prev = n
+			}
+			if m.tail != prev {
+				return fmt.Sprintf("set %d core %d: private tail %d, walk ends at %d", i, c, m.tail, prev)
+			}
+			if m.head != nilSlot && m.tag != a.nodes[setBase+int(m.head)].tag {
+				return fmt.Sprintf("set %d core %d: MRU tag mirror %#x, MRU node holds %#x", i, c, m.tag, a.nodes[setBase+int(m.head)].tag)
+			}
+			if walked != int(m.privLen) {
+				return fmt.Sprintf("set %d core %d: privLen %d, walk found %d", i, c, m.privLen, walked)
+			}
+			if walked > a.cfg.LocalWays {
+				return fmt.Sprintf("set %d core %d private %d > ways", i, c, walked)
+			}
+			total += walked
+		}
+		sharedWalked := 0
+		prev := nilSlot
+		for n := sh.sharedHead; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+			nd := &a.nodes[setBase+int(n)]
+			if nd.prev != prev {
+				return fmt.Sprintf("set %d: broken shared back-link at slot %d", i, n)
+			}
+			if int(nd.owner) < 0 || int(nd.owner) >= a.cfg.Cores {
+				return fmt.Sprintf("set %d: shared block %#x has owner %d out of [0,%d)", i, nd.tag, nd.owner, a.cfg.Cores)
+			}
+			if int(nd.home) < 0 || int(nd.home) >= a.cfg.Cores {
+				return fmt.Sprintf("set %d: shared block %#x has home %d out of [0,%d)", i, nd.tag, nd.home, a.cfg.Cores)
+			}
+			if seen[nd.tag] {
+				return fmt.Sprintf("set %d: duplicate tag %#x in shared", i, nd.tag)
+			}
+			seen[nd.tag] = true
+			sharedWalked++
+			if sharedWalked > a.slotsPerSet {
+				return fmt.Sprintf("set %d: shared list does not terminate", i)
+			}
+			prev = n
+		}
+		if sh.sharedTail != prev {
+			return fmt.Sprintf("set %d: shared tail %d, walk ends at %d", i, sh.sharedTail, prev)
+		}
+		if sharedWalked != int(sh.sharedLen) {
+			return fmt.Sprintf("set %d: sharedLen %d, walk found %d", i, sh.sharedLen, sharedWalked)
+		}
+		total += sharedWalked
+		if total > a.totalWays {
+			return fmt.Sprintf("set %d holds %d blocks > %d", i, total, a.totalWays)
+		}
+		if total != int(sh.total) {
+			return fmt.Sprintf("set %d: resident total %d, walk found %d", i, sh.total, total)
+		}
+		free := 0
+		for n := sh.freeHead; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+			free++
+			if free > a.slotsPerSet {
+				return fmt.Sprintf("set %d: free list does not terminate", i)
 			}
 		}
-		for _, b := range s.shared {
-			if int(b.owner) < 0 || int(b.owner) >= a.cfg.Cores {
-				return fmt.Sprintf("set %d: shared block %#x has owner %d out of [0,%d)", i, b.tag, b.owner, a.cfg.Cores)
-			}
-			if int(b.home) < 0 || int(b.home) >= a.cfg.Cores {
-				return fmt.Sprintf("set %d: shared block %#x has home %d out of [0,%d)", i, b.tag, b.home, a.cfg.Cores)
-			}
-			if seen[b.tag] {
-				return fmt.Sprintf("set %d: duplicate tag %#x in shared", i, b.tag)
-			}
-			seen[b.tag] = true
+		if free != a.slotsPerSet-total {
+			return fmt.Sprintf("set %d: %d free slots, want %d", i, free, a.slotsPerSet-total)
 		}
-		s.homeCounts(homes)
-		for h, n := range homes {
-			if n > a.cfg.LocalWays {
-				return fmt.Sprintf("set %d: local cache %d holds %d > %d blocks", i, h, n, a.cfg.LocalWays)
+		// I9 (internal half): the incremental occupancy index must equal a
+		// full recount of the block lists.
+		var inc, rec OccupancyOfSet
+		a.InspectSetInto(i, &inc)
+		a.RecountSetInto(i, &rec)
+		for c := 0; c < a.cfg.Cores; c++ {
+			if inc.ByOwner[c] != rec.ByOwner[c] {
+				return fmt.Sprintf("set %d core %d: ownerCnt %d, recount %d", i, c, inc.ByOwner[c], rec.ByOwner[c])
+			}
+			if inc.ByHome[c] != rec.ByHome[c] {
+				return fmt.Sprintf("set %d core %d: homeCnt %d, recount %d", i, c, inc.ByHome[c], rec.ByHome[c])
+			}
+			if rec.ByHome[c] > a.cfg.LocalWays {
+				return fmt.Sprintf("set %d: local cache %d holds %d > %d blocks", i, c, rec.ByHome[c], a.cfg.LocalWays)
 			}
 		}
+		sumPriv += total - sharedWalked
+		sumShared += sharedWalked
+		sumStats.Add(a.setStats[i])
 		// A shadow register holds the tag of a block its core *lost*; if
 		// the same tag is resident again under that owner, the register
 		// was never consumed or retired and the gain estimate is skewed.
@@ -933,17 +1357,24 @@ func (a *Adaptive) CheckInvariants() string {
 			if !ok {
 				continue
 			}
-			for _, b := range s.priv[c] {
-				if b.tag == tag {
+			for n := a.mru[base+c].head; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+				if a.nodes[setBase+int(n)].tag == tag {
 					return fmt.Sprintf("set %d: shadow tag %#x of core %d aliases a resident private block", i, tag, c)
 				}
 			}
-			for _, b := range s.shared {
-				if int(b.owner) == c && b.tag == tag {
+			for n := sh.sharedHead; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+				if int(a.nodes[setBase+int(n)].owner) == c && a.nodes[setBase+int(n)].tag == tag {
 					return fmt.Sprintf("set %d: shadow tag %#x of core %d aliases a resident shared block", i, tag, c)
 				}
 			}
 		}
+	}
+	if sumPriv != a.totalPriv || sumShared != a.totalShared {
+		return fmt.Sprintf("whole-cache totals priv=%d shared=%d, recount priv=%d shared=%d",
+			a.totalPriv, a.totalShared, sumPriv, sumShared)
+	}
+	if sumStats != a.aggStats {
+		return fmt.Sprintf("whole-cache activity aggregate %+v, per-set sum %+v", a.aggStats, sumStats)
 	}
 	return ""
 }

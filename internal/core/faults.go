@@ -9,6 +9,13 @@ import "fmt"
 // the simulator itself — they exist so the detector suite can prove that
 // the invariant checker and the replay verifier actually catch the
 // corruption modes they claim to.
+//
+// With the flat arena, faults meant for the *replay* verifier must keep
+// the incremental occupancy index consistent with the blocks they mutate
+// (otherwise the invariant checker's recount cross-check would catch them
+// first and the detector-identity claim would be wrong). Faults meant for
+// the *invariant* checker deliberately skip that bookkeeping, or — for
+// FaultSkewHomeIndex — corrupt only the bookkeeping.
 
 // InjectLimits overwrites the per-core occupancy limits with a *legal*
 // assignment — each limit within the paper's bounds and the sum conserved
@@ -39,12 +46,15 @@ func (a *Adaptive) InjectLimits(limits []int) error {
 // original core's stack. Expected detector: invariant checker (private
 // blocks must have owner == home == stack index).
 func (a *Adaptive) FaultFlipPrivateOwner() bool {
-	for i := range a.sets {
-		for c := range a.sets[i].priv {
-			if len(a.sets[i].priv[c]) == 0 {
+	for i := range a.setHdrs {
+		base := i * a.cfg.Cores
+		setBase := i * a.slotsPerSet
+		for c := 0; c < a.cfg.Cores; c++ {
+			n := a.mru[base+c].head
+			if n == nilSlot {
 				continue
 			}
-			a.sets[i].priv[c][0].owner = int16((c + 1) % a.cfg.Cores)
+			a.nodes[setBase+int(n)].owner = int8((c + 1) % a.cfg.Cores)
 			return true
 		}
 	}
@@ -52,52 +62,70 @@ func (a *Adaptive) FaultFlipPrivateOwner() bool {
 }
 
 // FaultFlipSharedOwner flips the owner of the first shared block it finds
-// to the next core (still in range, so derived owner counts stay legal).
-// Structurally self-consistent — the invariant checker cannot see it —
-// but the replay verifier compares shared owners against the trace.
-// Expected detector: replay verifier.
+// to the next core, keeping the occupancy index in step (still in range,
+// so derived owner counts stay legal). Structurally self-consistent — the
+// invariant checker cannot see it — but the replay verifier compares
+// shared owners against the trace. Expected detector: replay verifier.
 func (a *Adaptive) FaultFlipSharedOwner() bool {
-	for i := range a.sets {
-		if len(a.sets[i].shared) == 0 {
+	for i := range a.setHdrs {
+		n := a.setHdrs[i].sharedHead
+		if n == nilSlot {
 			continue
 		}
-		b := &a.sets[i].shared[0]
-		b.owner = int16((int(b.owner) + 1) % a.cfg.Cores)
+		nd := &a.nodes[i*a.slotsPerSet+int(n)]
+		base := i * a.cfg.Cores
+		a.cnts[base+int(nd.owner)].owner--
+		nd.owner = int8((int(nd.owner) + 1) % a.cfg.Cores)
+		a.cnts[base+int(nd.owner)].owner++
 		return true
 	}
 	return false
 }
 
 // FaultDropSharedBlock silently removes the MRU shared block of the first
-// non-empty shared stack — the effect of a lost demotion. The remaining
-// structure is well-formed, so only the replay verifier (which knows the
-// block should be there) can detect it. Expected detector: replay
-// verifier.
+// non-empty shared stack — the effect of a lost demotion — updating every
+// counter as a legitimate removal would. The remaining structure is
+// well-formed, so only the replay verifier (which knows the block should
+// be there) can detect it. Expected detector: replay verifier.
 func (a *Adaptive) FaultDropSharedBlock() bool {
-	for i := range a.sets {
-		s := &a.sets[i]
-		if len(s.shared) == 0 {
+	for i := range a.setHdrs {
+		sh := &a.setHdrs[i]
+		n := sh.sharedHead
+		if n == nilSlot {
 			continue
 		}
-		s.shared = s.shared[1:]
+		setBase := i * a.slotsPerSet
+		nd := &a.nodes[setBase+int(n)]
+		base := i * a.cfg.Cores
+		a.cnts[base+int(nd.owner)].owner--
+		a.cnts[base+int(nd.home)].home--
+		a.sharedUnlink(setBase, sh, n)
+		a.freeNode(setBase, sh, n)
+		a.totalShared--
 		return true
 	}
 	return false
 }
 
 // FaultReorderPrivateStack swaps the MRU and LRU entries of the first
-// private stack holding at least two blocks. The stack remains a
-// duplicate-free permutation of the same blocks, so the invariant checker
-// passes; the replay verifier compares exact LRU order. Expected
-// detector: replay verifier.
+// private stack holding at least two blocks (by exchanging the block
+// payloads in place, leaving the list structure intact). The stack
+// remains a duplicate-free permutation of the same blocks, so the
+// invariant checker passes; the replay verifier compares exact LRU order.
+// Expected detector: replay verifier.
 func (a *Adaptive) FaultReorderPrivateStack() bool {
-	for i := range a.sets {
-		for c := range a.sets[i].priv {
-			p := a.sets[i].priv[c]
-			if len(p) < 2 {
+	for i := range a.setHdrs {
+		base := i * a.cfg.Cores
+		setBase := i * a.slotsPerSet
+		for c := 0; c < a.cfg.Cores; c++ {
+			m := &a.mru[base+c]
+			if m.privLen < 2 {
 				continue
 			}
-			p[0], p[len(p)-1] = p[len(p)-1], p[0]
+			hd, tl := &a.nodes[setBase+int(m.head)], &a.nodes[setBase+int(m.tail)]
+			hd.tag, tl.tag = tl.tag, hd.tag
+			hd.dirty, tl.dirty = tl.dirty, hd.dirty
+			m.tag = hd.tag // keep the MRU mirror structurally consistent
 			return true
 		}
 	}
@@ -108,16 +136,19 @@ func (a *Adaptive) FaultReorderPrivateStack() bool {
 // private block in the same set, creating two residents with one
 // identity. Expected detector: invariant checker (duplicate tag).
 func (a *Adaptive) FaultDuplicateTag() bool {
-	for i := range a.sets {
-		s := &a.sets[i]
-		if len(s.shared) == 0 {
+	for i := range a.setHdrs {
+		sn := a.setHdrs[i].sharedHead
+		if sn == nilSlot {
 			continue
 		}
-		for c := range s.priv {
-			if len(s.priv[c]) == 0 {
+		base := i * a.cfg.Cores
+		setBase := i * a.slotsPerSet
+		for c := 0; c < a.cfg.Cores; c++ {
+			pn := a.mru[base+c].head
+			if pn == nilSlot {
 				continue
 			}
-			s.shared[0].tag = s.priv[c][0].tag
+			a.nodes[setBase+int(sn)].tag = a.nodes[setBase+int(pn)].tag
 			return true
 		}
 	}
@@ -146,21 +177,22 @@ func (a *Adaptive) FaultLimitSum() bool {
 // alias). Only monitored sets have registers; returns false if no
 // monitored set holds a block.
 func (a *Adaptive) FaultAliasShadowTag() bool {
-	for i := range a.sets {
+	for i := range a.setHdrs {
 		if !a.shadow.Monitored(i) {
 			continue
 		}
-		s := &a.sets[i]
-		for c := range s.priv {
-			if len(s.priv[c]) == 0 {
+		base := i * a.cfg.Cores
+		setBase := i * a.slotsPerSet
+		for c := 0; c < a.cfg.Cores; c++ {
+			n := a.mru[base+c].head
+			if n == nilSlot {
 				continue
 			}
-			a.shadow.Record(i, c, s.priv[c][0].tag)
+			a.shadow.Record(i, c, a.nodes[setBase+int(n)].tag)
 			return true
 		}
-		if len(s.shared) > 0 {
-			b := s.shared[0]
-			a.shadow.Record(i, int(b.owner), b.tag)
+		if n := a.setHdrs[i].sharedHead; n != nilSlot {
+			a.shadow.Record(i, int(a.nodes[setBase+int(n)].owner), a.nodes[setBase+int(n)].tag)
 			return true
 		}
 	}
@@ -169,28 +201,49 @@ func (a *Adaptive) FaultAliasShadowTag() bool {
 
 // FaultOverfillHome rehomes a shared block onto a local cache that is
 // already full, so one physical cache claims more blocks than it has
-// ways. Expected detector: invariant checker (home overflow). Requires a
-// set with a full local cache and a shared block homed elsewhere.
+// ways. The home counters follow the move, so the fault is a genuine
+// capacity violation, not an index skew. Expected detector: invariant
+// checker (home overflow). Requires a set with a full local cache and a
+// shared block homed elsewhere.
 func (a *Adaptive) FaultOverfillHome() bool {
-	homes := make([]int, a.cfg.Cores)
-	for i := range a.sets {
-		s := &a.sets[i]
-		s.homeCounts(homes)
+	for i := range a.setHdrs {
+		base := i * a.cfg.Cores
+		setBase := i * a.slotsPerSet
 		full := -1
-		for h, n := range homes {
-			if n == a.cfg.LocalWays {
-				full = h
+		for c := 0; c < a.cfg.Cores; c++ {
+			if int(a.cnts[base+c].home) == a.cfg.LocalWays {
+				full = c
 				break
 			}
 		}
 		if full < 0 {
 			continue
 		}
-		for j := range s.shared {
-			if int(s.shared[j].home) != full {
-				s.shared[j].home = int16(full)
-				return true
+		for n := a.setHdrs[i].sharedHead; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+			nd := &a.nodes[setBase+int(n)]
+			if int(nd.home) == full {
+				continue
 			}
+			a.cnts[base+int(nd.home)].home--
+			nd.home = int8(full)
+			a.cnts[base+full].home++
+			return true
+		}
+	}
+	return false
+}
+
+// FaultSkewHomeIndex decrements one nonzero incremental home counter
+// without touching any block — the signature of a fill/eviction path that
+// forgot its index update. Every block list is still perfectly formed, so
+// only the recount cross-check can see it. Expected detector: invariant
+// checker (I9: incremental index equals full recount). Requires at least
+// one resident block.
+func (a *Adaptive) FaultSkewHomeIndex() bool {
+	for c := range a.cnts {
+		if a.cnts[c].home > 0 {
+			a.cnts[c].home--
+			return true
 		}
 	}
 	return false

@@ -7,7 +7,11 @@ import (
 	"nucasim/internal/llc"
 )
 
-// BlockState mirrors blockRec with exported fields for serialization.
+// BlockState is one resident block with exported fields for serialization.
+// The on-disk shape predates the flat arena and is kept stable: stacks are
+// serialized as MRU→LRU slices regardless of the in-memory layout (the
+// arena packs owner/home into int8; the wire format keeps int16), so
+// checkpoints interoperate across engine versions.
 type BlockState struct {
 	Tag   uint64
 	Owner int16
@@ -24,6 +28,9 @@ type SetState struct {
 // State is the complete mutable state of an Adaptive instance — enough
 // to resume a checkpointed run bit-identically. Configuration is not
 // included: Restore expects an instance built with the same Config.
+// Derived quantities (the incremental occupancy index, whole-cache block
+// totals, the activity aggregate) are not serialized; Restore rebuilds
+// them from the blocks and the per-set stats.
 type State struct {
 	Sets      []SetState
 	Shadow    cache.ShadowState
@@ -42,18 +49,26 @@ type State struct {
 	Evaluations  uint64
 }
 
-func blocksOut(in []blockRec) []BlockState {
-	out := make([]BlockState, len(in))
-	for i, b := range in {
-		out[i] = BlockState{Tag: b.tag, Owner: b.owner, Home: b.home, Dirty: b.dirty}
+// privOut serializes core c's private stack of set idx, MRU→LRU.
+func (a *Adaptive) privOut(idx, c int) []BlockState {
+	m := &a.mru[idx*a.cfg.Cores+c]
+	setBase := idx * a.slotsPerSet
+	out := make([]BlockState, 0, m.privLen)
+	for n := m.head; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+		nd := &a.nodes[setBase+int(n)]
+		out = append(out, BlockState{Tag: nd.tag, Owner: int16(nd.owner), Home: int16(nd.home), Dirty: nd.dirty})
 	}
 	return out
 }
 
-func blocksIn(in []BlockState) []blockRec {
-	out := make([]blockRec, len(in))
-	for i, b := range in {
-		out[i] = blockRec{tag: b.Tag, owner: b.Owner, home: b.Home, dirty: b.Dirty}
+// sharedOut serializes the shared stack of set idx, MRU→LRU.
+func (a *Adaptive) sharedOut(idx int) []BlockState {
+	sh := &a.setHdrs[idx]
+	setBase := idx * a.slotsPerSet
+	out := make([]BlockState, 0, sh.sharedLen)
+	for n := sh.sharedHead; n != nilSlot; n = a.nodes[setBase+int(n)].next {
+		nd := &a.nodes[setBase+int(n)]
+		out = append(out, BlockState{Tag: nd.tag, Owner: int16(nd.owner), Home: int16(nd.home), Dirty: nd.dirty})
 	}
 	return out
 }
@@ -61,7 +76,7 @@ func blocksIn(in []BlockState) []blockRec {
 // Snapshot captures the instance's full mutable state.
 func (a *Adaptive) Snapshot() State {
 	st := State{
-		Sets:              make([]SetState, len(a.sets)),
+		Sets:              make([]SetState, len(a.setHdrs)),
 		Shadow:            a.shadow.State(),
 		MaxBlocks:         append([]int(nil), a.maxBlocks...),
 		ShadowHits:        append([]uint64(nil), a.shadowHits...),
@@ -76,36 +91,79 @@ func (a *Adaptive) Snapshot() State {
 	if a.epochStats != nil {
 		st.EpochStats = append([]llc.AccessStats(nil), a.epochStats...)
 	}
-	for i := range a.sets {
-		ss := SetState{Priv: make([][]BlockState, len(a.sets[i].priv))}
-		for c, p := range a.sets[i].priv {
-			ss.Priv[c] = blocksOut(p)
+	for i := range st.Sets {
+		ss := SetState{Priv: make([][]BlockState, a.cfg.Cores)}
+		for c := 0; c < a.cfg.Cores; c++ {
+			ss.Priv[c] = a.privOut(i, c)
 		}
-		ss.Shared = blocksOut(a.sets[i].shared)
+		ss.Shared = a.sharedOut(i)
 		st.Sets[i] = ss
 	}
 	return st
 }
 
 // Restore loads a snapshot taken from an identically configured instance.
+// The arena is rebuilt from the serialized stacks and the incremental
+// occupancy index recounted; CheckInvariants then vets the result, so a
+// corrupted snapshot is rejected rather than resumed.
 func (a *Adaptive) Restore(st State) error {
-	if len(st.Sets) != len(a.sets) {
-		return fmt.Errorf("core: state has %d sets, instance has %d", len(st.Sets), len(a.sets))
+	if len(st.Sets) != len(a.setHdrs) {
+		return fmt.Errorf("core: state has %d sets, instance has %d", len(st.Sets), len(a.setHdrs))
 	}
 	if len(st.MaxBlocks) != a.cfg.Cores || len(st.PerCore) != a.cfg.Cores {
 		return fmt.Errorf("core: state is for %d cores, instance has %d", len(st.MaxBlocks), a.cfg.Cores)
-	}
-	if err := a.shadow.Restore(st.Shadow); err != nil {
-		return err
 	}
 	for i := range st.Sets {
 		if len(st.Sets[i].Priv) != a.cfg.Cores {
 			return fmt.Errorf("core: set %d has %d private stacks, want %d", i, len(st.Sets[i].Priv), a.cfg.Cores)
 		}
-		for c, p := range st.Sets[i].Priv {
-			a.sets[i].priv[c] = blocksIn(p)
+		blocks := len(st.Sets[i].Shared)
+		for _, p := range st.Sets[i].Priv {
+			blocks += len(p)
 		}
-		a.sets[i].shared = blocksIn(st.Sets[i].Shared)
+		if blocks > a.totalWays {
+			return fmt.Errorf("core: restored state violates invariants: set %d holds %d blocks > %d", i, blocks, a.totalWays)
+		}
+		for _, p := range st.Sets[i].Priv {
+			for _, b := range p {
+				if err := checkBlockRange(b, i, a.cfg.Cores); err != nil {
+					return err
+				}
+			}
+		}
+		for _, b := range st.Sets[i].Shared {
+			if err := checkBlockRange(b, i, a.cfg.Cores); err != nil {
+				return err
+			}
+		}
+	}
+	if err := a.shadow.Restore(st.Shadow); err != nil {
+		return err
+	}
+	a.initArena()
+	for i := range st.Sets {
+		sh := &a.setHdrs[i]
+		base := i * a.cfg.Cores
+		setBase := i * a.slotsPerSet
+		for c, p := range st.Sets[i].Priv {
+			m := &a.mru[base+c]
+			for _, b := range p {
+				n := a.allocNode(setBase, sh)
+				a.nodes[setBase+int(n)] = blockNode{tag: b.Tag, owner: int8(b.Owner), home: int8(b.Home), dirty: b.Dirty, prev: nilSlot, next: nilSlot}
+				a.privPushBack(setBase, m, n)
+				a.cnts[base+int(b.Owner)].owner++
+				a.cnts[base+int(b.Home)].home++
+				a.totalPriv++
+			}
+		}
+		for _, b := range st.Sets[i].Shared {
+			n := a.allocNode(setBase, sh)
+			a.nodes[setBase+int(n)] = blockNode{tag: b.Tag, owner: int8(b.Owner), home: int8(b.Home), dirty: b.Dirty, prev: nilSlot, next: nilSlot}
+			a.sharedPushBack(setBase, sh, n)
+			a.cnts[base+int(b.Owner)].owner++
+			a.cnts[base+int(b.Home)].home++
+			a.totalShared++
+		}
 	}
 	copy(a.maxBlocks, st.MaxBlocks)
 	copy(a.shadowHits, st.ShadowHits)
@@ -113,6 +171,10 @@ func (a *Adaptive) Restore(st State) error {
 	a.missesSinceRepart = st.MissesSinceRepart
 	copy(a.perCore, st.PerCore)
 	copy(a.setStats, st.SetStats)
+	a.aggStats = llc.SetStats{}
+	for i := range a.setStats {
+		a.aggStats.Add(a.setStats[i])
+	}
 	a.lastSetAgg = st.LastSetAgg
 	if st.EpochStats != nil && a.epochStats != nil {
 		copy(a.epochStats, st.EpochStats)
@@ -121,6 +183,17 @@ func (a *Adaptive) Restore(st State) error {
 	a.Evaluations = st.Evaluations
 	if msg := a.CheckInvariants(); msg != "" {
 		return fmt.Errorf("core: restored state violates invariants: %s", msg)
+	}
+	return nil
+}
+
+// checkBlockRange rejects serialized blocks whose owner or home would
+// index outside the instance's core headers (the arena rebuild would
+// corrupt memory, so this is validated up front).
+func checkBlockRange(b BlockState, set, cores int) error {
+	if int(b.Owner) < 0 || int(b.Owner) >= cores || int(b.Home) < 0 || int(b.Home) >= cores {
+		return fmt.Errorf("core: restored state violates invariants: set %d block %#x has owner %d home %d outside [0,%d)",
+			set, b.Tag, b.Owner, b.Home, cores)
 	}
 	return nil
 }

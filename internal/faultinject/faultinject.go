@@ -72,6 +72,11 @@ func Matrix() []Fault {
 			Inject:   (*core.Adaptive).FaultOverfillHome,
 		},
 		{
+			Name:     "skew-home-index",
+			Detector: DetectorInvariant,
+			Inject:   (*core.Adaptive).FaultSkewHomeIndex,
+		},
+		{
 			Name:     "flip-shared-owner",
 			Detector: DetectorReplay,
 			Inject:   (*core.Adaptive).FaultFlipSharedOwner,

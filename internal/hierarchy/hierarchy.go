@@ -132,29 +132,33 @@ type Port struct {
 	core int
 }
 
-// access runs the generic L1→L2→LLC path for the data or instruction side.
+// access runs the generic L1→L2→LLC path for the data or instruction
+// side. The block number is computed once here and reused by every level
+// (each level masks/shifts it for its own set count), instead of each
+// level re-splitting the full byte address.
 func (p *Port) access(l1, l2 *cache.Cache, l1Lat int, addr memaddr.Addr, write bool, now uint64) uint64 {
 	h := p.h
-	if hit, _ := l1.Access(addr, write); hit {
+	bn := addr.BlockNum()
+	if hit, _ := l1.AccessBlock(bn, write); hit {
 		return now + uint64(l1Lat)
 	}
-	if hit, _ := l2.Access(addr, false); hit {
-		p.fillL1(l1, l2, addr, write, now)
+	if hit, _ := l2.AccessBlock(bn, false); hit {
+		p.fillL1(l1, l2, bn, write, now)
 		return now + uint64(h.cfg.L2Lat)
 	}
 	// L2 miss: the LLC organization resolves it (hit or memory) with
 	// latencies measured from the L3 access start.
 	ready, _ := h.org.Access(p.core, addr, false, now)
-	p.fillL2(l2, addr, now)
-	p.fillL1(l1, l2, addr, write, now)
+	p.fillL2(l2, bn, now)
+	p.fillL1(l1, l2, bn, write, now)
 	return ready
 }
 
 // fillL1 installs into L1, sinking a dirty victim into L2.
-func (p *Port) fillL1(l1, l2 *cache.Cache, addr memaddr.Addr, write bool, now uint64) {
-	victim, victimAddr := l1.Install(addr, write, p.core)
+func (p *Port) fillL1(l1, l2 *cache.Cache, bn memaddr.BlockNum, write bool, now uint64) {
+	victim, victimAddr := l1.InstallBlock(bn, write, p.core)
 	if victim.Valid && victim.Dirty {
-		if !l2.MarkDirty(victimAddr) {
+		if !l2.MarkDirtyBlock(victimAddr.BlockNum()) {
 			// Victim not in L2 (evicted earlier): push it down to the
 			// LLC organization.
 			p.h.org.WritebackFromL2(p.core, victimAddr, now)
@@ -163,8 +167,8 @@ func (p *Port) fillL1(l1, l2 *cache.Cache, addr memaddr.Addr, write bool, now ui
 }
 
 // fillL2 installs into L2, sinking a dirty victim into the LLC.
-func (p *Port) fillL2(l2 *cache.Cache, addr memaddr.Addr, now uint64) {
-	victim, victimAddr := l2.Install(addr, false, p.core)
+func (p *Port) fillL2(l2 *cache.Cache, bn memaddr.BlockNum, now uint64) {
+	victim, victimAddr := l2.InstallBlock(bn, false, p.core)
 	if victim.Valid && victim.Dirty {
 		p.h.org.WritebackFromL2(p.core, victimAddr, now)
 	}

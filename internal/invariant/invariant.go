@@ -16,6 +16,9 @@
 //	I7 home capacity     each local cache holds ≤ ways blocks of its set
 //	I8 shadow aliasing   a valid shadow register never names a block its
 //	                     core currently has resident
+//	I9 index freshness   the incrementally maintained occupancy index
+//	                     (per-set owner/home counters, whole-cache block
+//	                     totals) equals a full recount of the block lists
 package invariant
 
 import (
@@ -45,9 +48,14 @@ func Check(a *core.Adaptive) error {
 		return fmt.Errorf("invariant I2: limits %v sum to %d, want %d", limits, sum, want)
 	}
 
+	// Scratch records reused across the per-set sweep: the checker runs
+	// every epoch under -check-invariants, so it must not allocate per set.
+	var d core.SetDump
+	var occ, rec core.OccupancyOfSet
+	sumPriv, sumShared := 0, 0
 	for set := 0; set < a.NumSets(); set++ {
-		d := a.DumpSet(set)
-		occ := a.InspectSet(set)
+		a.DumpSetInto(set, &d)
+		a.InspectSetInto(set, &occ)
 
 		if len(d.SharedTags) != len(d.SharedOwners) {
 			return fmt.Errorf("invariant I6: set %d dump has %d shared tags but %d owners",
@@ -124,6 +132,37 @@ func Check(a *core.Adaptive) error {
 					set, c, tag)
 			}
 		}
+		// I9: the incremental occupancy index equals a full recount of the
+		// intrusive lists. InspectSet reads the counters; RecountSet walks
+		// the blocks and ignores them.
+		a.RecountSetInto(set, &rec)
+		for c := 0; c < cores; c++ {
+			if occ.Private[c] != rec.Private[c] {
+				return fmt.Errorf("invariant I9: set %d core %d private length %d, recount %d",
+					set, c, occ.Private[c], rec.Private[c])
+			}
+			if occ.ByOwner[c] != rec.ByOwner[c] {
+				return fmt.Errorf("invariant I9: set %d core %d owner counter %d, recount %d",
+					set, c, occ.ByOwner[c], rec.ByOwner[c])
+			}
+			if occ.ByHome[c] != rec.ByHome[c] {
+				return fmt.Errorf("invariant I9: set %d core %d home counter %d, recount %d",
+					set, c, occ.ByHome[c], rec.ByHome[c])
+			}
+		}
+		if occ.SharedBlocks != rec.SharedBlocks {
+			return fmt.Errorf("invariant I9: set %d shared length %d, recount %d",
+				set, occ.SharedBlocks, rec.SharedBlocks)
+		}
+		sumPriv += residents - len(d.SharedTags)
+		sumShared += len(d.SharedTags)
+	}
+
+	// I9 (whole-cache half): the totals the epoch observer reads instead of
+	// scanning must equal the sum over every set's dump.
+	if priv, shared, _ := a.BlockTotals(); priv != sumPriv || shared != sumShared {
+		return fmt.Errorf("invariant I9: whole-cache totals priv=%d shared=%d, per-set sum priv=%d shared=%d",
+			priv, shared, sumPriv, sumShared)
 	}
 
 	// Cross-check against the engine's own internal self-check, which sees

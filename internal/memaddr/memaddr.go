@@ -31,6 +31,17 @@ func (a Addr) Block() Addr { return a &^ (BlockSize - 1) }
 // BlockNumber returns the block index (address >> BlockBits).
 func (a Addr) BlockNumber() uint64 { return uint64(a) >> BlockBits }
 
+// BlockNum is a typed block index: the address with the intra-block offset
+// shifted away. Every cache level indexes and tags off the same block
+// number (the levels differ only in how many of its low bits select the
+// set), so a hierarchy access computes it once and reuses it at L1, L2 and
+// below instead of re-deriving set and tag from the full byte address at
+// each level.
+type BlockNum uint64
+
+// BlockNum returns the typed block index of the address.
+func (a Addr) BlockNum() BlockNum { return BlockNum(uint64(a) >> BlockBits) }
+
 // Page returns the page number of the address.
 func (a Addr) Page() uint64 { return uint64(a) >> PageBits }
 
@@ -54,6 +65,7 @@ type Geometry struct {
 	Ways      int // associativity
 	setMask   uint64
 	setShift  uint
+	setBits   uint // log2(Sets); splits a BlockNum into set and tag
 	tagShift  uint
 	validated bool
 }
@@ -91,6 +103,7 @@ func NewGeometrySets(sets, ways int) Geometry {
 		Ways:      ways,
 		setMask:   uint64(sets - 1),
 		setShift:  BlockBits,
+		setBits:   setBits,
 		tagShift:  BlockBits + setBits,
 		validated: true,
 	}
@@ -107,6 +120,14 @@ func (g Geometry) Set(a Addr) int {
 // Tag returns the tag for an address (includes the address-space bits, so
 // different cores' identical virtual addresses never alias).
 func (g Geometry) Tag(a Addr) uint64 { return uint64(a) >> g.tagShift }
+
+// SetOfBlock returns the set index for a precomputed block number.
+// Identical to Set(a) for bn = a.BlockNum().
+func (g Geometry) SetOfBlock(bn BlockNum) int { return int(uint64(bn) & g.setMask) }
+
+// TagOfBlock returns the tag for a precomputed block number. Identical to
+// Tag(a) for bn = a.BlockNum().
+func (g Geometry) TagOfBlock(bn BlockNum) uint64 { return uint64(bn) >> g.setBits }
 
 // TagBits reports how many bits a stored tag requires for a physical
 // address width of addrBits. Used by the storage-cost model (§2.7).

@@ -29,6 +29,7 @@ type Verifier struct {
 	partial []byte
 	epochs  uint64
 	err     error
+	scratch core.SetDump // reused across per-epoch set sweeps
 }
 
 // NewVerifier builds a verifier reconstructing alongside the given live
@@ -108,7 +109,8 @@ func (v *Verifier) checkLive() error {
 }
 
 func (v *Verifier) checkSet(idx int) error {
-	d := v.live.DumpSet(idx)
+	v.live.DumpSetInto(idx, &v.scratch)
+	d := &v.scratch
 	s := &v.m.sets[idx]
 	for c := range s.priv {
 		if len(s.priv[c]) != len(d.Priv[c]) {

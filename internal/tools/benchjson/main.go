@@ -1,0 +1,268 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON benchmark record (BENCH_core.json), so the
+// repo's performance trajectory can be tracked and asserted on in CI
+// instead of eyeballed. The text input stays benchstat-compatible —
+// this tool reads the same stream, it does not replace it.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | tee bench.txt
+//	go run ./internal/tools/benchjson -in bench.txt -out BENCH_core.json \
+//	    -require BenchmarkAdaptiveAccess \
+//	    -assert-zero-allocs BenchmarkAdaptiveAccess
+//
+// -require fails if no benchmark with the given name prefix was parsed
+// (catching a silently skipped or renamed benchmark); it may be repeated
+// as a comma-separated list. -assert-zero-allocs fails if any matching
+// benchmark reports allocs/op > 0 — the steady-state access-path
+// guarantee the flat-arena engine makes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nucasim/internal/atomicio"
+)
+
+// Benchmark is one aggregated benchmark result: the mean over every
+// parsed run of the same name (count=N produces N lines per benchmark).
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	Iterations  uint64             `json:"iterations"` // summed over runs
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
+}
+
+// Record is the whole JSON document.
+type Record struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// accum collects the per-run samples of one benchmark name.
+type accum struct {
+	runs    int
+	iters   uint64
+	sums    map[string]float64 // unit → summed value
+	hasMem  bool
+	ordinal int // first-seen order, for stable output
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output to parse ('-' = stdin)")
+	out := flag.String("out", "", "JSON file to write ('' = stdout)")
+	require := flag.String("require", "", "comma-separated benchmark name prefixes that must be present")
+	assertZero := flag.String("assert-zero-allocs", "", "comma-separated benchmark name prefixes that must report 0 allocs/op")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rec, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	var failures []string
+	for _, name := range splitList(*require) {
+		if !anyMatch(rec.Benchmarks, name) {
+			failures = append(failures, fmt.Sprintf("required benchmark %q not found in input", name))
+		}
+	}
+	for _, name := range splitList(*assertZero) {
+		matched := false
+		for _, b := range rec.Benchmarks {
+			if !matchName(b.Name, name) {
+				continue
+			}
+			matched = true
+			if b.AllocsPerOp != 0 {
+				failures = append(failures, fmt.Sprintf("%s: %g allocs/op, want 0", b.Name, b.AllocsPerOp))
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Sprintf("assert-zero-allocs: no benchmark matches %q", name))
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := atomicio.WriteFile(*out, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
+		fatal(err)
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchjson:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parse folds a `go test -bench` text stream into aggregated results.
+// Benchmark lines look like
+//
+//	BenchmarkAdaptiveAccess-4   92633254   11.48 ns/op   0 B/op   0 allocs/op
+//
+// with (value, unit) pairs after the iteration count; ReportMetric adds
+// more pairs with custom units. Header lines (goos/goarch/pkg/cpu) fill
+// the record envelope; everything else is ignored.
+func parse(r io.Reader) (Record, error) {
+	rec := Record{}
+	accums := map[string]*accum{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rec.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rec.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		iters, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX    --- FAIL"
+		}
+		a := accums[name]
+		if a == nil {
+			a = &accum{sums: map[string]float64{}, ordinal: len(accums)}
+			accums[name] = a
+		}
+		a.runs++
+		a.iters += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rec, fmt.Errorf("benchjson: bad value %q on line %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			a.sums[unit] += v
+			if unit == "allocs/op" {
+				a.hasMem = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rec, err
+	}
+
+	names := make([]string, 0, len(accums))
+	for n := range accums {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return accums[names[i]].ordinal < accums[names[j]].ordinal })
+	for _, n := range names {
+		a := accums[n]
+		b := Benchmark{Name: n, Runs: a.runs, Iterations: a.iters}
+		for unit, sum := range a.sums {
+			mean := sum / float64(a.runs)
+			switch unit {
+			case "ns/op":
+				b.NsPerOp = mean
+			case "B/op":
+				b.BytesPerOp = mean
+			case "allocs/op":
+				b.AllocsPerOp = mean
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = mean
+			}
+		}
+		if !a.hasMem {
+			b.AllocsPerOp = -1 // run lacked -benchmem; distinguish from a true zero
+			b.BytesPerOp = -1
+		}
+		rec.Benchmarks = append(rec.Benchmarks, b)
+	}
+	return rec, nil
+}
+
+// stripProcSuffix removes the -GOMAXPROCS suffix go test appends.
+func stripProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// matchName matches a benchmark against a name prefix: exact, or the
+// prefix followed by a sub-benchmark separator.
+func matchName(name, prefix string) bool {
+	return name == prefix || strings.HasPrefix(name, prefix+"/")
+}
+
+func anyMatch(bs []Benchmark, prefix string) bool {
+	for _, b := range bs {
+		if matchName(b.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
