@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke bench-serve smoke serve-smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke ci clean
 
 all: build
 
@@ -90,6 +90,22 @@ fault-coverage: build
 resume-smoke: build
 	$(GO) run ./internal/tools/artifactcheck -resumesmoke
 
+# End-to-end smoke of the HTTP service: build the real nucaserve binary,
+# run a job through it, SIGTERM it, restart it on the same state dir and
+# require the resubmission to be a byte-identical cache hit.
+serve-smoke: build
+	$(GO) build -o /tmp/nucaserve ./cmd/nucaserve
+	$(GO) run ./internal/tools/servesmoke -bin /tmp/nucaserve
+
+# Benchmark the service's submit path on a warmed cache (decode,
+# canonicalize, hash, dedup, respond) into BENCH_serve.json.
+bench-serve: build
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSubmit$$' -benchmem \
+		-count=5 ./internal/serve/ | tee /tmp/nucasim-bench-serve.txt
+	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench-serve.txt \
+		-out BENCH_serve.json -require BenchmarkServeSubmit
+	@echo "bench record written to BENCH_serve.json"
+
 # Short fuzz pass over the external-input parsers (JSONL trace, binary
 # address trace). Seed corpora live under */testdata/fuzz/.
 fuzz-smoke: build
@@ -97,7 +113,7 @@ fuzz-smoke: build
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/trace/
 
-ci: vet build race smoke replay-verify golden-check fault-coverage bench-smoke resume-smoke fuzz-smoke
+ci: vet build race smoke serve-smoke replay-verify golden-check fault-coverage bench-smoke resume-smoke fuzz-smoke
 
 clean:
 	rm -f /tmp/nucasim-smoke.csv /tmp/nucasim-smoke.jsonl /tmp/nucasim-smoke.txt

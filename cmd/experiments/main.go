@@ -29,12 +29,12 @@ import (
 	"os"
 	"time"
 
-	"nucasim/internal/atomicio"
 	"nucasim/internal/core"
 	"nucasim/internal/experiment"
 	"nucasim/internal/sim"
 	"nucasim/internal/stats"
 	"nucasim/internal/telemetry"
+	"nucasim/internal/tools/cliflags"
 )
 
 // output carries the artifact sinks every experiment writes through.
@@ -80,11 +80,12 @@ func main() {
 	flag.Uint64Var(&opt.WarmupCycles, "warmup-cycles", 0, "timed warmup cycles (default 1e5)")
 	flag.Uint64Var(&opt.MeasureCycles, "cycles", 0, "measured cycles (default 6e5; paper: 2e8)")
 	flag.BoolVar(&opt.CheckInvariants, "check-invariants", false, "verify adaptive-scheme structural invariants at every repartition epoch (aborts on violation)")
-	jsonOut := flag.Bool("json", false, "emit tables as JSON Lines instead of text")
-	metricsOut := flag.String("metrics-out", "", "append every table as CSV to this file")
-	traceOut := flag.String("trace-out", "", "stream adaptive runs' sharing-engine events (JSONL) to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	common := cliflags.Register(flag.CommandLine, cliflags.Spec{
+		JSONUsage:    "emit tables as JSON Lines instead of text",
+		MetricsUsage: "append every table as CSV to this file",
+		TraceUsage:   "stream adaptive runs' sharing-engine events (JSONL) to this file",
+		Profiles:     true,
+	})
 	flag.Parse()
 	which := flag.Args()
 	if len(which) == 0 {
@@ -92,30 +93,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	session, err := common.Open(true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	out := &output{json: *jsonOut}
-	if *metricsOut != "" {
-		f, err := atomicio.Create(*metricsOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Commit()
-		out.metrics = f
+	out := &output{json: common.JSON}
+	if session.Metrics != nil {
+		out.metrics = session.Metrics
 	}
-	if *traceOut != "" {
-		f, err := atomicio.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Commit()
-		opt.TraceWriter = f
+	if session.Trace != nil {
+		opt.TraceWriter = session.Trace
 	}
 
 	for _, w := range which {
@@ -128,10 +117,7 @@ func main() {
 		timed(w, opt, out)
 	}
 
-	if err := stopCPU(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-	}
-	if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+	if err := session.Close(true); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
 }

@@ -41,9 +41,9 @@ import (
 	"strings"
 	"syscall"
 
-	"nucasim/internal/atomicio"
 	"nucasim/internal/sim"
 	"nucasim/internal/telemetry"
+	"nucasim/internal/tools/cliflags"
 	"nucasim/internal/workload"
 )
 
@@ -58,13 +58,16 @@ func main() {
 	sample := flag.Bool("sample-shadow", false, "shadow tags in 1/16 of sets (§4.6)")
 	list := flag.Bool("list", false, "list available applications and exit")
 
-	metricsOut := flag.String("metrics-out", "", "write the epoch time-series as CSV to this file")
-	traceOut := flag.String("trace-out", "", "write the sharing-engine event trace as JSON Lines to this file")
+	common := cliflags.Register(flag.CommandLine, cliflags.Spec{
+		JSONUsage:    "print the run summary as JSON instead of text",
+		MetricsUsage: "write the epoch time-series as CSV to this file",
+		TraceUsage:   "write the sharing-engine event trace as JSON Lines to this file",
+		Profiles:     true,
+	})
 	traceSample := flag.Uint64("trace-sample", 16, "record 1 in N block events (swap/migrate/demote/evict); decisions are always recorded")
 	fullTrace := flag.Bool("full-trace", false, "record every event of every kind with tag and LRU depth — lossless, replayable by nucadbg (large output)")
 	replayVerify := flag.Bool("replay-verify", false, "adaptive only: cross-check trace-reconstructed cache state against the live cache at every repartition epoch")
 	epochCap := flag.Int("epoch-cap", telemetry.DefaultEpochCapacity, "bound on retained epoch samples (oldest dropped)")
-	jsonOut := flag.Bool("json", false, "print the run summary as JSON instead of text")
 	checkInv := flag.Bool("check-invariants", false, "adaptive only: verify structural invariants at every repartition epoch and at the end of the run")
 	checkpoint := flag.String("checkpoint", "", "adaptive only: write a crash-safe state checkpoint to this file periodically and on interruption (SIGINT/SIGTERM)")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in measured cycles (default 50000 when -checkpoint is set)")
@@ -87,7 +90,7 @@ func main() {
 	defer stop()
 
 	if *resume != "" {
-		if *replayVerify || *traceOut != "" {
+		if *replayVerify || common.TraceOut != "" {
 			fmt.Fprintln(os.Stderr, "nucasim: -resume cannot re-attach -trace-out or -replay-verify; a resumed run keeps its epoch series and counters only")
 			os.Exit(2)
 		}
@@ -100,7 +103,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nucasim:", err)
 			os.Exit(1)
 		}
-		report(r, *metricsOut, *jsonOut)
+		report(r, common)
 		return
 	}
 
@@ -144,17 +147,15 @@ func main() {
 		}
 	}
 	cfg.ReplayVerify = *replayVerify
-	var traceFile *atomicio.File
-	if *traceOut != "" {
-		f, err := atomicio.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		traceFile = f
-		telcfg.TraceWriter = f
+	session, err := common.Open(false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if cfg.Scheme == sim.SchemeAdaptive || *metricsOut != "" || *traceOut != "" || *jsonOut {
+	if session.Trace != nil {
+		telcfg.TraceWriter = session.Trace
+	}
+	if cfg.Scheme == sim.SchemeAdaptive || common.MetricsOut != "" || common.TraceOut != "" || common.JSON {
 		cfg.Telemetry = &telcfg
 	}
 	cfg.CheckInvariants = *checkInv
@@ -169,9 +170,7 @@ func main() {
 	r, err := sim.RunContext(ctx, cfg, mix)
 	if err != nil {
 		// The trace is incomplete; never publish it under the real name.
-		if traceFile != nil {
-			traceFile.Abort()
-		}
+		session.Close(false)
 		if errors.Is(err, sim.ErrInterrupted) {
 			if *checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "nucasim: interrupted; state checkpointed — continue with -resume %s\n", *checkpoint)
@@ -186,11 +185,9 @@ func main() {
 
 	// Publish the trace before any verification exits: the run itself
 	// completed, so the artifact is whole and should survive.
-	if traceFile != nil {
-		if err := traceFile.Commit(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := session.Close(true); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if *replayVerify {
@@ -201,12 +198,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nucasim: replay self-verify ok: %d epochs cross-checked\n", r.ReplayEpochsVerified)
 	}
 
-	report(r, *metricsOut, *jsonOut)
+	report(r, common)
 }
 
 // report emits the run's artifacts and summary; shared by fresh and
 // resumed runs.
-func report(r sim.Result, metricsOut string, jsonOut bool) {
+func report(r sim.Result, common *cliflags.Flags) {
 	// A truncated epoch series must not be mistaken for the whole run —
 	// e.g. when a CSV is about to become a regression baseline. The
 	// EpochsDropped field in -json output carries the same signal
@@ -217,17 +214,15 @@ func report(r sim.Result, metricsOut string, jsonOut bool) {
 			r.EpochsDropped, r.Evaluations, r.Evaluations)
 	}
 
-	if metricsOut != "" {
-		err := atomicio.WriteFile(metricsOut, func(w io.Writer) error {
-			return telemetry.WriteEpochCSV(w, r.Epochs)
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	err := common.WriteMetricsFile(func(w io.Writer) error {
+		return telemetry.WriteEpochCSV(w, r.Epochs)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
-	if jsonOut {
+	if common.JSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
@@ -267,6 +262,19 @@ func printText(r sim.Result) {
 		r.Counters["adaptive.demotions"], r.Counters["adaptive.shared_swaps"],
 		r.Counters["adaptive.neighbor_migrations"], r.Counters["adaptive.evictions"])
 	fmt.Printf("  epochs recorded %d (dropped %d)\n", len(r.Epochs), r.EpochsDropped)
+
+	// Latched limits (the ROADMAP's [5 5 1 1]-style signature): if the
+	// partition never moved again over a substantial tail of the run,
+	// say so — a user sweeping configurations should know the adaptive
+	// engine froze early rather than kept adapting.
+	if n := len(r.Epochs); n > 0 {
+		last := r.Epochs[n-1]
+		frozen := last.EpochsSinceLimitChange
+		if r.Evaluations >= 20 && frozen >= r.Evaluations/2 {
+			fmt.Printf("  warning: limits latched after evaluation %d — unchanged for the final %d of %d evaluations (see ROADMAP: gain-counter hysteresis)\n",
+				r.Evaluations-frozen, frozen, r.Evaluations)
+		}
+	}
 
 	// Partition history: every applied transfer, most recent last.
 	const maxShown = 12

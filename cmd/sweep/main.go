@@ -21,11 +21,11 @@ import (
 	"strings"
 	"time"
 
-	"nucasim/internal/atomicio"
 	"nucasim/internal/experiment"
 	"nucasim/internal/sim"
 	"nucasim/internal/stats"
 	"nucasim/internal/telemetry"
+	"nucasim/internal/tools/cliflags"
 	"nucasim/internal/workload"
 )
 
@@ -37,28 +37,23 @@ func main() {
 	warmup := flag.Uint64("warmup-instrs", 1_000_000, "functional warmup per core")
 	cycles := flag.Uint64("cycles", 600_000, "measured cycles")
 	flag.BoolVar(&checkInvariants, "check-invariants", false, "verify adaptive-scheme structural invariants at every repartition epoch (aborts on violation)")
-	jsonOut := flag.Bool("json", false, "emit the sweep table as JSON instead of text")
-	metricsOut := flag.String("metrics-out", "", "write the sweep table as CSV to this file")
-	traceOut := flag.String("trace-out", "", "stream adaptive runs' sharing-engine events (JSONL) to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	common := cliflags.Register(flag.CommandLine, cliflags.Spec{
+		JSONUsage:    "emit the sweep table as JSON instead of text",
+		MetricsUsage: "write the sweep table as CSV to this file",
+		TraceUsage:   "stream adaptive runs' sharing-engine events (JSONL) to this file",
+		Profiles:     true,
+	})
 	flag.Parse()
 
-	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	session, err := common.Open(false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	var trace io.Writer
-	if *traceOut != "" {
-		f, err := atomicio.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Commit()
-		trace = f
+	if session.Trace != nil {
+		trace = session.Trace
 	}
 
 	start := time.Now()
@@ -79,7 +74,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *jsonOut {
+	if common.JSON {
 		b, err := json.Marshal(t)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -92,11 +87,9 @@ func main() {
 			fmt.Println(footer)
 		}
 	}
-	if *metricsOut != "" {
-		if err := atomicio.WriteFile(*metricsOut, t.WriteCSV); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := common.WriteMetricsFile(t.WriteCSV); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	tp := telemetry.Throughput{
@@ -105,10 +98,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "# %s sweep: %s\n", *kind, tp)
 
-	if err := stopCPU(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-	}
-	if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+	if err := session.Close(true); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
 }

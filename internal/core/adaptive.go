@@ -194,6 +194,11 @@ type Adaptive struct {
 	missesSinceRepart int
 	perCore           []llc.AccessStats
 
+	// sinceLimitChange counts consecutive evaluations without a limit
+	// transfer; the epoch observer publishes it so latched partitions
+	// (limits frozen for the rest of a run) are visible in the series.
+	sinceLimitChange uint64
+
 	// setStats aggregates sharing-engine activity per global set (fills,
 	// swaps, demotions, evictions, steals). Always maintained: the
 	// increments ride event paths that already do pointer surgery, so the
@@ -862,6 +867,11 @@ func (a *Adaptive) repartition(now uint64) {
 		a.Repartitions++
 		transferred = true
 	}
+	if transferred {
+		a.sinceLimitChange = 0
+	} else {
+		a.sinceLimitChange++
+	}
 	if a.tel != nil {
 		a.observeEpoch(now, gainer, loser, gain, loss, transferred)
 	}
@@ -901,6 +911,8 @@ func (a *Adaptive) observeEpoch(now uint64, gainer, loser int, gain, loss float6
 		EpochDemotions:  agg.Demotions - a.lastSetAgg.Demotions,
 		EpochEvictions:  agg.Evictions - a.lastSetAgg.Evictions,
 		EpochSteals:     agg.Steals - a.lastSetAgg.Steals,
+
+		EpochsSinceLimitChange: a.sinceLimitChange,
 	}
 	a.lastSetAgg = agg
 	for c := range a.perCore {
@@ -1007,6 +1019,7 @@ func (a *Adaptive) Reset() {
 	a.missesSinceRepart = 0
 	a.Repartitions = 0
 	a.Evaluations = 0
+	a.sinceLimitChange = 0
 }
 
 // Memory returns the underlying memory model (test helper).

@@ -45,8 +45,9 @@ type State struct {
 	LastSetAgg llc.SetStats
 	EpochStats []llc.AccessStats // nil when telemetry was detached
 
-	Repartitions uint64
-	Evaluations  uint64
+	Repartitions     uint64
+	Evaluations      uint64
+	SinceLimitChange uint64
 }
 
 // privOut serializes core c's private stack of set idx, MRU→LRU.
@@ -87,6 +88,7 @@ func (a *Adaptive) Snapshot() State {
 		LastSetAgg:        a.lastSetAgg,
 		Repartitions:      a.Repartitions,
 		Evaluations:       a.Evaluations,
+		SinceLimitChange:  a.sinceLimitChange,
 	}
 	if a.epochStats != nil {
 		st.EpochStats = append([]llc.AccessStats(nil), a.epochStats...)
@@ -181,6 +183,7 @@ func (a *Adaptive) Restore(st State) error {
 	}
 	a.Repartitions = st.Repartitions
 	a.Evaluations = st.Evaluations
+	a.sinceLimitChange = st.SinceLimitChange
 	if msg := a.CheckInvariants(); msg != "" {
 		return fmt.Errorf("core: restored state violates invariants: %s", msg)
 	}

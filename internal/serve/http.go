@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nucasim/internal/telemetry"
+)
+
+// maxRequestBody bounds POST /v1/jobs payloads; job specs are a few
+// hundred bytes, so 1 MiB is generous.
+const maxRequestBody = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202 queued, 200 cached/duplicate,
+//	                            400 invalid, 429 queue full, 503 draining)
+//	GET    /v1/jobs/{id}        status + queue position
+//	GET    /v1/jobs/{id}/events NDJSON stream of status/progress/epoch events
+//	GET    /v1/jobs/{id}/result cached result.json (?artifact=epochs → epoch.csv)
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 once draining)
+//	GET    /metrics             text exposition of server + simulator metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writeMetrics(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	j, created, err := s.Submit(req)
+	if err != nil {
+		var reqErr *RequestError
+		var full *QueueFullError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, reqErr.Error())
+		case errors.As(err, &full):
+			w.Header().Set("Retry-After", strconv.Itoa(full.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, full.Error())
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	code := http.StatusOK // duplicate submission or cache hit
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, s.Status(j))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	st := s.Status(j)
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict, "job is "+string(st.State)+", result not available")
+		return
+	}
+	switch artifact := r.URL.Query().Get("artifact"); artifact {
+	case "", "result":
+		data, err := s.store.ReadResult(j.ID)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case "epochs":
+		data, err := s.store.ReadEpochCSV(j.ID)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		w.Write(data)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown artifact "+strconv.Quote(artifact)+" (want result or epochs)")
+	}
+}
+
+// event is one NDJSON line on the /events stream. Exactly one of the
+// payload fields is set, per Type: "status" carries Status (sent on
+// connect and at every state or progress change), "epoch" carries one
+// live telemetry sample from the run's repartitioning engine.
+type event struct {
+	Type   string                 `json:"type"`
+	Status *Status                `json:"status,omitempty"`
+	Epoch  *telemetry.EpochSample `json:"epoch,omitempty"`
+}
+
+// handleEvents streams the job's lifecycle as NDJSON until it reaches a
+// terminal state or the client disconnects. Epoch samples are drained
+// incrementally from the job's ring via Since(lastEval); status lines
+// are re-sent whenever state or progress changes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	var lastEval uint64
+	var lastStatus string
+	// Re-check periodically even without a bump, so a dropped client is
+	// noticed (the write fails) rather than parked forever.
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		j.mu.Lock()
+		epochs := j.epochs.Since(lastEval)
+		wait := j.wait
+		terminal := j.state.terminal()
+		j.mu.Unlock()
+
+		st := s.Status(j)
+		// Only emit status lines that say something new; progress updates
+		// arrive far more often than they change materially.
+		if line, _ := json.Marshal(st); string(line) != lastStatus {
+			lastStatus = string(line)
+			if err := enc.Encode(event{Type: "status", Status: &st}); err != nil {
+				return
+			}
+		}
+		for i := range epochs {
+			lastEval = epochs[i].Eval
+			if err := enc.Encode(event{Type: "epoch", Epoch: &epochs[i]}); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wait:
+		case <-tick.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
+	"nucasim/internal/workload"
+)
+
+// JobRequest is the wire shape of POST /v1/jobs: the semantic subset of
+// sim.Config plus the application mix by suite name. Zero fields take
+// the simulator's Table 1 defaults, exactly as the CLI flags do.
+type JobRequest struct {
+	Scheme             string   `json:"scheme"` // default "adaptive"
+	Apps               []string `json:"apps"`   // one per core, ≥2
+	Seed               uint64   `json:"seed"`
+	WarmupInstructions uint64   `json:"warmup_instructions"`
+	WarmupCycles       uint64   `json:"warmup_cycles"`
+	MeasureCycles      uint64   `json:"measure_cycles"`
+	L3BytesPerCore     int      `json:"l3_bytes_per_core"`
+	Scaled             bool     `json:"scaled"`
+	ShadowSampleShift  uint     `json:"shadow_sample_shift"`
+	RepartitionPeriod  int      `json:"repartition_period"`
+	DisableProtection  bool     `json:"disable_protection"`
+	DisableAdaptation  bool     `json:"disable_adaptation"`
+}
+
+// Build resolves the request into a validated simulator configuration
+// and application mix. Errors are user errors (HTTP 400 material).
+func (req JobRequest) Build() (sim.Config, []workload.AppParams, error) {
+	scheme := req.Scheme
+	if scheme == "" {
+		scheme = string(sim.SchemeAdaptive)
+	}
+	if len(req.Apps) < 2 {
+		return sim.Config{}, nil, fmt.Errorf("need at least 2 apps (one per core), got %d", len(req.Apps))
+	}
+	mix := make([]workload.AppParams, 0, len(req.Apps))
+	for _, name := range req.Apps {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return sim.Config{}, nil, fmt.Errorf("unknown application %q", name)
+		}
+		mix = append(mix, p)
+	}
+	cfg := sim.Config{
+		Cores:              len(mix),
+		Scheme:             sim.Scheme(scheme),
+		Seed:               req.Seed,
+		WarmupInstructions: req.WarmupInstructions,
+		WarmupCycles:       req.WarmupCycles,
+		MeasureCycles:      req.MeasureCycles,
+		L3BytesPerCore:     req.L3BytesPerCore,
+		Scaled:             req.Scaled,
+		ShadowSampleShift:  req.ShadowSampleShift,
+		RepartitionPeriod:  req.RepartitionPeriod,
+		DisableProtection:  req.DisableProtection,
+		DisableAdaptation:  req.DisableAdaptation,
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, nil, err
+	}
+	return cfg, mix, nil
+}
+
+// JobState is the lifecycle of one submitted job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker (FIFO).
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is simulating it right now.
+	StateRunning JobState = "running"
+	// StateDone: artifacts are in the content-addressed cache.
+	StateDone JobState = "done"
+	// StateFailed: the run errored; the Error field says why.
+	StateFailed JobState = "failed"
+	// StateCanceled: removed by DELETE before completing.
+	StateCanceled JobState = "canceled"
+	// StateCheckpointed: the shutdown drain interrupted it and a
+	// crash-safe checkpoint was written; a restarted server resumes it
+	// from where it stopped instead of recomputing.
+	StateCheckpointed JobState = "checkpointed"
+	// StateInterrupted: the drain interrupted a scheme that cannot
+	// checkpoint; a restarted server reruns it from scratch.
+	StateInterrupted JobState = "interrupted"
+)
+
+// terminal reports whether the state can no longer change (short of a
+// server restart re-queueing checkpointed/interrupted work).
+func (s JobState) terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateCheckpointed, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// Job is one submission's full lifecycle. The immutable identity fields
+// are set at creation; everything observable mid-flight lives behind mu
+// because HTTP handlers read while the worker goroutine writes.
+type Job struct {
+	// ID is the canonical-spec SHA-256 — the content address of the
+	// job's artifacts. Identical submissions share one Job.
+	ID  string
+	cfg sim.Config
+	mix []workload.AppParams
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	cached   bool // served straight from the result cache, no run
+	resumed  bool // continued from a checkpoint after a server restart
+	progress telemetry.Progress
+	epochs   *telemetry.Ring // samples observed live via the OnEpoch hook
+	wait     chan struct{}   // closed+replaced on every update (broadcast)
+
+	cancel          context.CancelFunc // non-nil while running
+	cancelRequested bool
+}
+
+func newJob(id string, cfg sim.Config, mix []workload.AppParams) *Job {
+	return &Job{
+		ID:     id,
+		cfg:    cfg,
+		mix:    mix,
+		state:  StateQueued,
+		epochs: telemetry.NewRing(telemetry.DefaultEpochCapacity),
+		wait:   make(chan struct{}),
+	}
+}
+
+// bumpLocked wakes every streamer blocked on the job. Callers hold mu.
+func (j *Job) bumpLocked() {
+	close(j.wait)
+	j.wait = make(chan struct{})
+}
+
+// onEpoch is the telemetry.Config.OnEpoch hook: it runs on the worker's
+// simulation goroutine at every repartition evaluation. The sample's
+// slices are freshly allocated by the sharing engine and never written
+// again after publication, so sharing them with HTTP readers is safe
+// once the handoff goes through mu.
+func (j *Job) onEpoch(s telemetry.EpochSample) {
+	j.mu.Lock()
+	j.epochs.Append(s)
+	j.bumpLocked()
+	j.mu.Unlock()
+}
+
+// onProgress is the telemetry.Config.OnProgress hook; same goroutine
+// discipline as onEpoch.
+func (j *Job) onProgress(p telemetry.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.bumpLocked()
+	j.mu.Unlock()
+}
+
+// setState transitions the job and wakes streamers.
+func (j *Job) setState(s JobState, errMsg string) {
+	j.mu.Lock()
+	j.state = s
+	j.err = errMsg
+	if s.terminal() {
+		j.cancel = nil
+	}
+	j.bumpLocked()
+	j.mu.Unlock()
+}
+
+// Status is the wire shape of GET /v1/jobs/{id} and of "status" events
+// on the NDJSON stream.
+type Status struct {
+	ID            string             `json:"id"`
+	State         JobState           `json:"state"`
+	QueuePosition int                `json:"queue_position,omitempty"` // jobs ahead; only while queued
+	Cached        bool               `json:"cached,omitempty"`
+	Resumed       bool               `json:"resumed,omitempty"`
+	Error         string             `json:"error,omitempty"`
+	Progress      telemetry.Progress `json:"progress,omitempty"`
+	EpochsSeen    int                `json:"epochs_seen"` // live epoch samples observed so far
+	Scheme        string             `json:"scheme"`
+	Apps          []string           `json:"apps"`
+}
+
+// status snapshots the job; queuePos is computed by the server (-1 when
+// not queued).
+func (j *Job) status(queuePos int) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:         j.ID,
+		State:      j.state,
+		Cached:     j.cached,
+		Resumed:    j.resumed,
+		Error:      j.err,
+		Progress:   j.progress,
+		EpochsSeen: j.epochs.Len(),
+		Scheme:     string(j.cfg.Scheme),
+	}
+	for _, p := range j.mix {
+		st.Apps = append(st.Apps, p.Name)
+	}
+	if j.state == StateQueued && queuePos >= 0 {
+		st.QueuePosition = queuePos
+	}
+	return st
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"io"
+	"time"
+
+	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
+)
+
+// serverMetrics wraps a telemetry.Registry with a mutex: the registry
+// itself is single-writer by design (it serves the lock-free simulator
+// core), but here HTTP scrapes and several workers touch it at once.
+type serverMetrics struct {
+	mu  chan struct{} // 1-slot semaphore; avoids a second sync import here
+	reg telemetry.Registry
+}
+
+func (m *serverMetrics) init() {
+	m.mu = make(chan struct{}, 1)
+}
+
+func (m *serverMetrics) inc(name string) {
+	m.mu <- struct{}{}
+	m.reg.Counter(name).Inc()
+	<-m.mu
+}
+
+func (m *serverMetrics) counters() map[string]uint64 {
+	m.mu <- struct{}{}
+	out := m.reg.Counters()
+	<-m.mu
+	return out
+}
+
+// writeMetrics renders the /metrics exposition: every lifecycle counter
+// plus gauges computed at scrape time — per-state job counts, queue and
+// pool occupancy, uptime, and the process-wide simulated-cycle
+// throughput shared with the CLI tools.
+func (s *Server) writeMetrics(w io.Writer) error {
+	counters := s.metrics.counters()
+
+	s.mu.Lock()
+	gauges := map[string]float64{
+		"serve.queue_depth":    float64(len(s.queue)),
+		"serve.queue_capacity": float64(s.opts.QueueDepth),
+		"serve.workers":        float64(s.opts.Workers),
+		"serve.workers_busy":   float64(s.running),
+		"serve.draining":       b2f(s.draining),
+	}
+	perState := make(map[JobState]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		perState[j.state]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone,
+		StateFailed, StateCanceled, StateCheckpointed, StateInterrupted} {
+		gauges["serve.jobs_"+string(st)] = float64(perState[st])
+	}
+	up := time.Since(s.started).Seconds()
+	gauges["serve.uptime_seconds"] = up
+	cycles := sim.CyclesSimulated()
+	gauges["sim.cycles_simulated"] = float64(cycles)
+	if up > 0 {
+		gauges["sim.cycles_per_second"] = float64(cycles) / up
+	}
+	return telemetry.WriteMetricsText(w, counters, gauges)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

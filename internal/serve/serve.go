@@ -1,0 +1,479 @@
+// Package serve is the nucaserve HTTP simulation service: it accepts
+// simulation jobs over JSON, runs them on a bounded worker pool with a
+// FIFO queue and backpressure, caches every result in a
+// content-addressed on-disk store (keyed by the canonical SHA-256 of
+// the normalized job spec, so a cache hit returns byte-identical
+// artifacts to a direct sim.Run), streams per-job progress as NDJSON
+// built on the telemetry epoch ring, and drains gracefully — jobs that
+// cannot finish before the drain deadline are checkpointed and resumed
+// by the next process instead of recomputed.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
+	"nucasim/internal/workload"
+)
+
+// Options configures a Server. The zero value works: GOMAXPROCS
+// workers, a 64-deep queue, 30 s drain, 50 k-cycle checkpoint cadence.
+type Options struct {
+	// StateDir roots the content-addressed result cache and the
+	// checkpoints of interrupted jobs. Required.
+	StateDir string
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting to run; a submission past it gets
+	// HTTP 429 with Retry-After (default 64).
+	QueueDepth int
+	// DrainTimeout is how long Shutdown lets running jobs finish before
+	// interrupting them into checkpoints (default 30 s).
+	DrainTimeout time.Duration
+	// CheckpointEvery is the periodic crash-safety cadence, in measured
+	// cycles, for running adaptive jobs (default sim's 50 000).
+	CheckpointEvery uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server owns the worker pool, the job table and the result store. All
+// fields behind mu are shared between HTTP handler goroutines and the
+// workers.
+type Server struct {
+	opts  Options
+	store *Store
+
+	mu       sync.Mutex
+	cond     *sync.Cond // queue became non-empty, or stopping
+	jobs     map[string]*Job
+	queue    []*Job // FIFO of StateQueued jobs
+	running  int
+	draining bool // no new submissions, workers stop dequeuing
+	stopping bool // workers exit
+
+	metrics serverMetrics
+	started time.Time
+	wg      sync.WaitGroup
+}
+
+// New builds a Server, re-queues unfinished work found in the state
+// directory (resuming from checkpoints where they exist), and starts
+// the worker pool.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.StateDir == "" {
+		return nil, errors.New("serve: Options.StateDir is required")
+	}
+	store, err := NewStore(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		store:   store,
+		jobs:    make(map[string]*Job),
+		started: time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.metrics.init()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// recover re-queues every job the previous process left unfinished.
+// Jobs with a checkpoint resume mid-measurement; the rest rerun from
+// scratch. Recovery may exceed QueueDepth — the backlog is real work
+// already accepted, not new load.
+func (s *Server) recover() error {
+	pending, err := s.store.Pending()
+	if err != nil {
+		return err
+	}
+	for hash, spec := range pending {
+		cfg, mix, err := sim.ParseCanonicalSpec(spec)
+		if err != nil {
+			// Unreadable specs (schema drift, corruption) are dropped so
+			// one bad entry cannot wedge every restart.
+			s.store.Remove(hash)
+			continue
+		}
+		j := newJob(hash, cfg, mix)
+		j.resumed = s.store.HasCheckpoint(hash)
+		s.jobs[hash] = j
+		s.queue = append(s.queue, j)
+	}
+	return nil
+}
+
+// Submit validates and enqueues a job, returning its (possibly
+// pre-existing) Job and whether this call created it. A submission
+// whose result is already cached completes instantly.
+func (s *Server) Submit(req JobRequest) (*Job, bool, error) {
+	cfg, mix, err := req.Build()
+	if err != nil {
+		return nil, false, &RequestError{Err: err}
+	}
+	spec, err := sim.CanonicalSpec(cfg, mix)
+	if err != nil {
+		return nil, false, &RequestError{Err: err}
+	}
+	hash, err := sim.SpecHash(cfg, mix)
+	if err != nil {
+		return nil, false, &RequestError{Err: err}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[hash]; ok {
+		s.metrics.inc("serve.jobs_deduped")
+		return j, false, nil
+	}
+	if s.store.HasResult(hash) {
+		// Cache hit from a previous process lifetime: materialize a
+		// completed job record around the stored artifacts.
+		j := newJob(hash, cfg, mix)
+		j.state = StateDone
+		j.cached = true
+		s.jobs[hash] = j
+		s.metrics.inc("serve.cache_hits")
+		return j, false, nil
+	}
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	if len(s.queue) >= s.opts.QueueDepth {
+		s.metrics.inc("serve.queue_rejections")
+		return nil, false, &QueueFullError{RetryAfter: s.retryAfterLocked()}
+	}
+	if err := s.store.PutSpec(hash, spec); err != nil {
+		return nil, false, fmt.Errorf("serve: persisting spec: %w", err)
+	}
+	j := newJob(hash, cfg, mix)
+	s.jobs[hash] = j
+	s.queue = append(s.queue, j)
+	s.metrics.inc("serve.jobs_submitted")
+	s.cond.Signal()
+	return j, true, nil
+}
+
+// retryAfterLocked estimates (in whole seconds) when queue space is
+// likely: one slot per worker per second is a deliberately conservative
+// floor — clients back off harder, never busy-loop.
+func (s *Server) retryAfterLocked() int {
+	est := (len(s.queue) + s.opts.Workers) / s.opts.Workers
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status returns the job's status with its live queue position filled
+// in.
+func (s *Server) Status(j *Job) Status {
+	s.mu.Lock()
+	pos := -1
+	for i, q := range s.queue {
+		if q == j {
+			pos = i
+			break
+		}
+	}
+	s.mu.Unlock()
+	return j.status(pos)
+}
+
+// Jobs snapshots every known job's status, newest state first not
+// guaranteed — callers sort if they care.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = s.Status(j)
+	}
+	return out
+}
+
+// Cancel stops a job: queued jobs are removed from the FIFO, running
+// jobs get their context canceled (the run interrupts at the next
+// chunk boundary). The job's on-disk state is removed so a restart
+// does not resurrect it. Canceling a terminal job is a no-op reporting
+// the current state.
+func (s *Server) Cancel(id string) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, false
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCanceled
+		j.cancelRequested = true
+		j.bumpLocked()
+		s.metrics.inc("serve.jobs_canceled")
+		s.store.Remove(id)
+	case j.state == StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	s.mu.Unlock()
+	return s.Status(j), true
+}
+
+// worker is one pool goroutine: dequeue, simulate, publish, repeat.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for (len(s.queue) == 0 || s.draining) && !s.stopping {
+			s.cond.Wait()
+		}
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running++
+		s.mu.Unlock()
+
+		s.runJob(j)
+
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// runJob executes one job end to end and publishes its outcome.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled between dequeue and here
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	resume := j.resumed
+	j.bumpLocked()
+	j.mu.Unlock()
+
+	var res sim.Result
+	var err error
+	if resume {
+		s.metrics.inc("serve.jobs_resumed")
+		res, err = sim.ResumeContextTelemetry(ctx, s.store.CheckpointPath(j.ID),
+			func(c *telemetry.Config) bool {
+				c.OnEpoch = j.onEpoch
+				c.OnProgress = j.onProgress
+				return true
+			})
+	} else {
+		res, err = sim.RunContext(ctx, s.jobConfig(j), j.mix)
+	}
+
+	switch {
+	case err == nil:
+		result, encErr := EncodeResult(res)
+		if encErr == nil {
+			encErr = s.store.PutResult(j.ID, result, encodeEpochCSV(res))
+		}
+		if encErr != nil {
+			s.metrics.inc("serve.jobs_failed")
+			j.setState(StateFailed, encErr.Error())
+			s.store.Remove(j.ID)
+			return
+		}
+		s.metrics.inc("serve.jobs_completed")
+		j.setState(StateDone, "")
+	case errors.Is(err, sim.ErrInterrupted):
+		j.mu.Lock()
+		wasCancel := j.cancelRequested
+		j.mu.Unlock()
+		switch {
+		case wasCancel:
+			s.metrics.inc("serve.jobs_canceled")
+			j.setState(StateCanceled, "")
+			s.store.Remove(j.ID)
+		case s.store.HasCheckpoint(j.ID):
+			s.metrics.inc("serve.jobs_checkpointed")
+			j.setState(StateCheckpointed, "")
+		default:
+			s.metrics.inc("serve.jobs_interrupted")
+			j.setState(StateInterrupted, "")
+		}
+	default:
+		s.metrics.inc("serve.jobs_failed")
+		j.setState(StateFailed, err.Error())
+		s.store.Remove(j.ID)
+	}
+}
+
+// jobConfig equips the job's semantic config with the server's live
+// observability (epoch + progress hooks feeding the job's stream) and,
+// for schemes that support it, crash-safe checkpointing into the store.
+// None of these additions changes what the run computes, so the
+// artifacts stay byte-identical to a direct sim.Run of the bare spec
+// with default telemetry.
+func (s *Server) jobConfig(j *Job) sim.Config {
+	cfg := j.cfg
+	cfg.Telemetry = &telemetry.Config{
+		Run:        j.ID,
+		OnEpoch:    j.onEpoch,
+		OnProgress: j.onProgress,
+	}
+	if cfg.Scheme == sim.SchemeAdaptive {
+		cfg.CheckpointPath = s.store.CheckpointPath(j.ID)
+		cfg.CheckpointEvery = s.opts.CheckpointEvery
+	}
+	return cfg
+}
+
+// Draining reports whether Shutdown has begun (readiness signal).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: intake stops immediately (submissions get
+// 503, workers pick up no new jobs), running jobs get until the drain
+// deadline to finish, and whatever is still running then is interrupted
+// — adaptive jobs write a checkpoint and land in StateCheckpointed, so
+// the next process resumes them without recomputing finished work.
+// Queued jobs keep their persisted specs and are re-queued on restart.
+// Blocks until every worker has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	deadline := time.NewTimer(s.opts.DrainTimeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+drain:
+	for {
+		s.mu.Lock()
+		idle := s.running == 0
+		s.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			break drain
+		case <-ctx.Done():
+			break drain
+		}
+	}
+
+	// Deadline passed: interrupt what is left. RunContext notices within
+	// one measurement chunk and checkpoints where it can.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	for {
+		s.mu.Lock()
+		idle := s.running == 0
+		if idle {
+			s.stopping = true
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+		if idle {
+			break
+		}
+		<-tick.C
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Store exposes the content-addressed result cache (read paths for the
+// HTTP layer and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// ErrDraining rejects submissions during shutdown.
+var ErrDraining = errors.New("serve: shutting down")
+
+// RequestError wraps a user error (HTTP 400).
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// QueueFullError rejects a submission because the FIFO is at capacity
+// (HTTP 429); RetryAfter is the suggested backoff in seconds.
+type QueueFullError struct{ RetryAfter int }
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: queue full, retry after %ds", e.RetryAfter)
+}
+
+// workloadNames is a tiny helper for logs and tests.
+func workloadNames(mix []workload.AppParams) []string {
+	out := make([]string, len(mix))
+	for i, p := range mix {
+		out[i] = p.Name
+	}
+	return out
+}

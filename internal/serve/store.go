@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nucasim/internal/atomicio"
+)
+
+// Store is the content-addressed on-disk result cache. Every job owns
+// one directory named by its canonical-spec SHA-256:
+//
+//	<dir>/jobs/<hash>/spec.json       canonical spec (the hash preimage)
+//	<dir>/jobs/<hash>/result.json     normalized sim.Result (EncodeResult)
+//	<dir>/jobs/<hash>/epoch.csv       epoch time-series artifact
+//	<dir>/jobs/<hash>/checkpoint.bin  crash-safe mid-run state (transient)
+//
+// result.json is written last (each file individually atomic via
+// internal/atomicio), so its presence is the commit marker: a directory
+// with a spec but no result is unfinished work that a restarted server
+// re-queues — resuming from checkpoint.bin when one exists.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (st *Store) jobDir(hash string) string { return filepath.Join(st.dir, "jobs", hash) }
+
+// SpecPath, ResultPath, EpochCSVPath and CheckpointPath name the job's
+// artifact files; CheckpointPath is handed to sim.Config.CheckpointPath.
+func (st *Store) SpecPath(hash string) string     { return filepath.Join(st.jobDir(hash), "spec.json") }
+func (st *Store) ResultPath(hash string) string   { return filepath.Join(st.jobDir(hash), "result.json") }
+func (st *Store) EpochCSVPath(hash string) string { return filepath.Join(st.jobDir(hash), "epoch.csv") }
+func (st *Store) CheckpointPath(hash string) string {
+	return filepath.Join(st.jobDir(hash), "checkpoint.bin")
+}
+
+// PutSpec persists the canonical spec bytes for hash, creating the job
+// directory. Called at submission so queued work survives a restart.
+func (st *Store) PutSpec(hash string, spec []byte) error {
+	if err := os.MkdirAll(st.jobDir(hash), 0o755); err != nil {
+		return err
+	}
+	return atomicio.WriteFile(st.SpecPath(hash), func(w io.Writer) error {
+		_, err := w.Write(spec)
+		return err
+	})
+}
+
+// PutResult publishes the job's artifacts: the epoch CSV first, then
+// result.json as the commit marker, then the now-obsolete checkpoint is
+// dropped.
+func (st *Store) PutResult(hash string, result, epochCSV []byte) error {
+	if err := atomicio.WriteFile(st.EpochCSVPath(hash), func(w io.Writer) error {
+		_, err := w.Write(epochCSV)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(st.ResultPath(hash), func(w io.Writer) error {
+		_, err := w.Write(result)
+		return err
+	}); err != nil {
+		return err
+	}
+	os.Remove(st.CheckpointPath(hash))
+	return nil
+}
+
+// HasResult reports a committed cache entry for hash.
+func (st *Store) HasResult(hash string) bool {
+	_, err := os.Stat(st.ResultPath(hash))
+	return err == nil
+}
+
+// HasCheckpoint reports a resumable mid-run snapshot for hash.
+func (st *Store) HasCheckpoint(hash string) bool {
+	_, err := os.Stat(st.CheckpointPath(hash))
+	return err == nil
+}
+
+// ReadResult returns the committed result.json bytes.
+func (st *Store) ReadResult(hash string) ([]byte, error) {
+	return os.ReadFile(st.ResultPath(hash))
+}
+
+// ReadEpochCSV returns the committed epoch.csv bytes.
+func (st *Store) ReadEpochCSV(hash string) ([]byte, error) {
+	return os.ReadFile(st.EpochCSVPath(hash))
+}
+
+// Remove deletes everything stored for hash (canceled or failed jobs,
+// so a restart does not resurrect them).
+func (st *Store) Remove(hash string) error {
+	return os.RemoveAll(st.jobDir(hash))
+}
+
+// Pending lists job hashes with a spec but no committed result — work
+// that was queued, running, or checkpointed when the previous process
+// stopped. The returned map holds each job's canonical spec bytes.
+func (st *Store) Pending() (map[string][]byte, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	pending := make(map[string][]byte)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		hash := e.Name()
+		if st.HasResult(hash) {
+			continue
+		}
+		spec, err := os.ReadFile(st.SpecPath(hash))
+		if err != nil {
+			// A directory without a readable spec is junk (e.g. a crash
+			// between MkdirAll and the spec write); skip it.
+			continue
+		}
+		pending[hash] = spec
+	}
+	return pending, nil
+}

@@ -242,6 +242,7 @@ func RunContext(ctx context.Context, cfg Config, mix []workload.AppParams) (Resu
 		}
 		m.warmFunctionalSegment(seg)
 		done += seg
+		m.Telemetry.ReportProgress(telemetry.Progress{Phase: "warmup-functional", Done: done, Total: cfg.WarmupInstructions})
 	}
 	m.Memory.Reset()
 	for done := uint64(0); done < cfg.WarmupCycles; {
@@ -254,6 +255,7 @@ func RunContext(ctx context.Context, cfg Config, mix []workload.AppParams) (Resu
 		}
 		m.Run(chunk)
 		done += chunk
+		m.Telemetry.ReportProgress(telemetry.Progress{Phase: "warmup-cycles", Done: done, Total: cfg.WarmupCycles})
 	}
 	if guard.err != nil {
 		return Result{}, guard.err
@@ -272,19 +274,40 @@ func RunContext(ctx context.Context, cfg Config, mix []workload.AppParams) (Resu
 // writer cannot be reattached; a resumed run keeps its epoch ring and
 // counters but emits no event trace.
 func ResumeContext(ctx context.Context, path string) (Result, error) {
+	return ResumeContextTelemetry(ctx, path, nil)
+}
+
+// ResumeContextTelemetry is ResumeContext with live observability
+// reattached: a checkpoint carries the telemetry parameters (run label,
+// ring capacity, sampling) but not the process-local wiring — writers
+// and hooks — so attach, when non-nil, receives the reconstructed
+// telemetry configuration before the machine is built and may install
+// OnEpoch/OnProgress hooks or a fresh TraceWriter. attach is called even
+// when the checkpointed run had no telemetry (with a zero-value config
+// whose adoption it signals by returning true); the job server uses
+// this to keep streaming progress across a restart.
+func ResumeContextTelemetry(ctx context.Context, path string, attach func(c *telemetry.Config) (enable bool)) (Result, error) {
 	ck, err := ReadCheckpoint(path)
 	if err != nil {
 		return Result{}, err
 	}
 	cfg := ck.Cfg
 	cfg.StopAfter = 0
+	tcfg := telemetry.Config{}
 	if ck.HasTelemetry {
-		cfg.Telemetry = &telemetry.Config{
+		tcfg = telemetry.Config{
 			Run:           ck.TelemetryRun,
 			EpochCapacity: ck.TelemetryEpochCapacity,
 			SampleEvery:   ck.TelemetrySampleEvery,
 			FullTrace:     ck.TelemetryFullTrace,
 		}
+	}
+	enabled := ck.HasTelemetry
+	if attach != nil && attach(&tcfg) {
+		enabled = true
+	}
+	if enabled {
+		cfg.Telemetry = &tcfg
 	}
 	m := NewMachine(cfg, ck.Mix)
 	guard := m.armInvariantChecks()
@@ -334,6 +357,7 @@ func (m *Machine) measure(ctx context.Context, mix []workload.AppParams, before 
 		}
 		m.Run(chunk)
 		measured += chunk
+		m.Telemetry.ReportProgress(telemetry.Progress{Phase: "measure", Done: measured, Total: cfg.MeasureCycles})
 		if guard.err != nil {
 			return Result{}, guard.err
 		}

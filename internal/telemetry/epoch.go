@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -38,6 +39,12 @@ type EpochSample struct {
 	// EpochSteals counts evictions whose victim belonged to a core other
 	// than the one filling — capacity taken from a neighbor.
 	EpochSteals uint64 `json:"epoch_steals"`
+
+	// EpochsSinceLimitChange counts consecutive evaluations (including
+	// this one) since the partition limits last moved; 0 means this
+	// evaluation transferred a way. A value that only grows for the rest
+	// of a run is the "latched limits" signature the ROADMAP flags.
+	EpochsSinceLimitChange uint64 `json:"epochs_since_limit_change"`
 
 	// Per-core LLC activity during the epoch.
 	EpochAccesses []uint64 `json:"epoch_accesses"`
@@ -109,6 +116,29 @@ func (r *Ring) Dropped() uint64 {
 	return r.dropped
 }
 
+// Since returns copies of the held samples whose Eval is greater than
+// eval, oldest-first. Samples arrive in Eval order, so a streaming
+// consumer can drain the ring incrementally: remember the newest Eval
+// already delivered and ask for what arrived after it. Samples that were
+// evicted before the consumer caught up are gone — compare the first
+// returned Eval against eval+1 to detect the gap.
+func (r *Ring) Since(eval uint64) []EpochSample {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	first := sort.Search(r.n, func(i int) bool {
+		return r.buf[(r.start+i)%len(r.buf)].Eval > eval
+	})
+	if first == r.n {
+		return nil
+	}
+	out := make([]EpochSample, r.n-first)
+	for i := range out {
+		out[i] = r.buf[(r.start+first+i)%len(r.buf)]
+	}
+	return out
+}
+
 // Samples returns the held samples oldest-first, as a fresh slice.
 func (r *Ring) Samples() []EpochSample {
 	if r == nil || r.n == 0 {
@@ -127,8 +157,8 @@ func (r *Ring) Samples() []EpochSample {
 //
 // Columns: eval, cycle, gainer, loser, gain, loss, transferred,
 // private_blocks, shared_blocks, swaps, migrations, demotions,
-// evictions, steals, then per core: limit_i, shadow_i, lru_i, acc_i,
-// miss_i, miss_rate_i.
+// evictions, steals, since_limit_change, then per core: limit_i,
+// shadow_i, lru_i, acc_i, miss_i, miss_rate_i.
 func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 	cw := csv.NewWriter(w)
 	if len(samples) == 0 {
@@ -138,7 +168,8 @@ func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 	cores := len(samples[0].Limits)
 	header := []string{"eval", "cycle", "gainer", "loser", "gain", "loss",
 		"transferred", "private_blocks", "shared_blocks",
-		"swaps", "migrations", "demotions", "evictions", "steals"}
+		"swaps", "migrations", "demotions", "evictions", "steals",
+		"since_limit_change"}
 	for _, col := range []string{"limit", "shadow", "lru", "acc", "miss", "miss_rate"} {
 		for c := 0; c < cores; c++ {
 			header = append(header, fmt.Sprintf("%s_%d", col, c))
@@ -165,6 +196,7 @@ func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 			strconv.FormatUint(s.EpochDemotions, 10),
 			strconv.FormatUint(s.EpochEvictions, 10),
 			strconv.FormatUint(s.EpochSteals, 10),
+			strconv.FormatUint(s.EpochsSinceLimitChange, 10),
 		)
 		for c := 0; c < cores; c++ {
 			row = append(row, strconv.Itoa(s.Limits[c]))

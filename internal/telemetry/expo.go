@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteMetricsText renders counters and gauges in the Prometheus text
+// exposition format (one `# TYPE` line per metric, sorted by name, names
+// sanitized so registry dots become underscores). The maps are typically
+// Registry.Counters()/Registry.Gauges() snapshots merged with whatever
+// derived values the exporter wants to publish alongside them — the
+// nucaserve /metrics endpoint is the intended consumer.
+func WriteMetricsText(w io.Writer, counters map[string]uint64, gauges map[string]float64) error {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := MetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := MetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricName maps a registry instrument name ("adaptive.shared_swaps")
+// onto the exposition alphabet [a-zA-Z0-9_:]: every other rune becomes
+// an underscore, and a leading digit is prefixed with one.
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			ok = true
+		}
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

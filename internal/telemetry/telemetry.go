@@ -45,6 +45,35 @@ type Config struct {
 	// per-set cache state exactly. Expect traces orders of magnitude
 	// larger than the sampled default.
 	FullTrace bool
+
+	// OnEpoch, if set, receives every epoch sample as it is appended to
+	// the ring. It runs on the simulation goroutine, synchronously with
+	// the repartition decision; the sample's slices are shared with the
+	// ring's copy, so the callback must treat them as read-only (copy
+	// them before handing the sample to another goroutine). This is how
+	// a live consumer — the job server streaming NDJSON progress —
+	// observes epochs without racing the lock-free ring.
+	OnEpoch func(EpochSample)
+
+	// OnProgress, if set, receives coarse phase progress (warmup /
+	// measurement advancement) from the simulation driver at its
+	// cancellation-check granularity. Like OnEpoch it runs on the
+	// simulation goroutine and must be cheap.
+	//
+	// Hooks are process-local live wiring, not state: checkpoints do not
+	// carry them (gob ignores func fields) and a resumed run is silent
+	// unless the caller re-installs them (sim.ResumeContextTelemetry).
+	OnProgress func(Progress)
+}
+
+// Progress is one coarse progress report from the simulation driver:
+// how far the named phase has advanced toward its known total.
+type Progress struct {
+	// Phase is "warmup-functional" (units: instructions per core),
+	// "warmup-cycles", or "measure" (units: cycles).
+	Phase string `json:"phase"`
+	Done  uint64 `json:"done"`
+	Total uint64 `json:"total"`
 }
 
 // DefaultEpochCapacity is the epoch ring size when Config leaves it zero.
@@ -66,6 +95,9 @@ type Telemetry struct {
 	Registry Registry
 	Epochs   *Ring
 	Trace    *Tracer
+
+	onEpoch    func(EpochSample)
+	onProgress func(Progress)
 }
 
 // New builds a telemetry instance from cfg.
@@ -74,7 +106,7 @@ func New(cfg Config) *Telemetry {
 	if capacity <= 0 {
 		capacity = DefaultEpochCapacity
 	}
-	t := &Telemetry{Epochs: NewRing(capacity)}
+	t := &Telemetry{Epochs: NewRing(capacity), onEpoch: cfg.OnEpoch, onProgress: cfg.OnProgress}
 	if cfg.TraceWriter != nil {
 		sampleEvery := cfg.SampleEvery
 		if cfg.FullTrace {
@@ -91,12 +123,25 @@ func New(cfg Config) *Telemetry {
 // Enabled reports whether this instance observes anything.
 func (t *Telemetry) Enabled() bool { return t != nil }
 
-// RecordEpoch appends one sample to the epoch ring.
+// RecordEpoch appends one sample to the epoch ring and forwards it to
+// the Config.OnEpoch hook, if any.
 func (t *Telemetry) RecordEpoch(s EpochSample) {
 	if t == nil {
 		return
 	}
 	t.Epochs.Append(s)
+	if t.onEpoch != nil {
+		t.onEpoch(s)
+	}
+}
+
+// ReportProgress forwards one phase-progress report to the
+// Config.OnProgress hook. Nil-safe and free when no hook is installed.
+func (t *Telemetry) ReportProgress(p Progress) {
+	if t == nil || t.onProgress == nil {
+		return
+	}
+	t.onProgress(p)
 }
 
 // Counter is a monotonically increasing uint64. Nil receivers no-op, so

@@ -1,0 +1,134 @@
+// Package cliflags centralizes the observability flag plumbing every
+// nucasim CLI used to repeat: -json, -metrics-out, -trace-out,
+// -cpuprofile and -memprofile, plus the open/commit/abort lifecycle of
+// the artifacts behind them. Artifacts are staged through
+// internal/atomicio, so an interrupted or failed invocation never
+// publishes a partial CSV or trace under the real name, and profiles
+// start/stop around the whole invocation.
+//
+// Usage shape:
+//
+//	f := cliflags.Register(flag.CommandLine, cliflags.Spec{...})
+//	flag.Parse()
+//	s, err := f.Open(false)          // stage trace, start CPU profile
+//	...
+//	err = run(s.Trace)               // s.Trace is nil without -trace-out
+//	s.Close(err == nil)              // commit or abort, stop profiles
+package cliflags
+
+import (
+	"errors"
+	"flag"
+	"io"
+
+	"nucasim/internal/atomicio"
+	"nucasim/internal/telemetry"
+)
+
+// Spec selects which shared flags a command registers and the
+// command-specific halves of their usage strings (the artifacts mean
+// different things to nucasim, experiments and sweep).
+type Spec struct {
+	JSONUsage    string // "" omits -json
+	MetricsUsage string // "" omits -metrics-out
+	TraceUsage   string // "" omits -trace-out
+	Profiles     bool   // register -cpuprofile / -memprofile
+}
+
+// Flags holds the parsed values of the shared observability flags.
+type Flags struct {
+	JSON       bool
+	MetricsOut string
+	TraceOut   string
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the flags selected by spec on fs and returns the
+// value holder, to be read after fs is parsed.
+func Register(fs *flag.FlagSet, spec Spec) *Flags {
+	f := &Flags{}
+	if spec.JSONUsage != "" {
+		fs.BoolVar(&f.JSON, "json", false, spec.JSONUsage)
+	}
+	if spec.MetricsUsage != "" {
+		fs.StringVar(&f.MetricsOut, "metrics-out", "", spec.MetricsUsage)
+	}
+	if spec.TraceUsage != "" {
+		fs.StringVar(&f.TraceOut, "trace-out", "", spec.TraceUsage)
+	}
+	if spec.Profiles {
+		fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+		fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	}
+	return f
+}
+
+// Session is an opened set of artifact sinks and running profiles.
+type Session struct {
+	// Trace is the staged -trace-out artifact (nil without the flag).
+	Trace *atomicio.File
+	// Metrics is the staged -metrics-out artifact when Open was asked to
+	// stream it; commands that render their CSV in one shot at the end
+	// use Flags.WriteMetricsFile instead and leave this nil.
+	Metrics *atomicio.File
+
+	memProfile string
+	stopCPU    func() error
+}
+
+// Open starts the CPU profile and stages the streaming artifacts.
+// streamMetrics also stages -metrics-out for incremental writing; leave
+// it false when the command renders the file in one shot at the end.
+func (f *Flags) Open(streamMetrics bool) (*Session, error) {
+	stopCPU, err := telemetry.StartCPUProfile(f.CPUProfile)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{memProfile: f.MemProfile, stopCPU: stopCPU}
+	if f.TraceOut != "" {
+		if s.Trace, err = atomicio.Create(f.TraceOut); err != nil {
+			s.Close(false)
+			return nil, err
+		}
+	}
+	if streamMetrics && f.MetricsOut != "" {
+		if s.Metrics, err = atomicio.Create(f.MetricsOut); err != nil {
+			s.Close(false)
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close finishes the session: staged artifacts are committed when ok is
+// true and aborted otherwise (an interrupted run never publishes a
+// partial file), the CPU profile is stopped, and the heap profile is
+// written. Safe to call on a partially opened session.
+func (s *Session) Close(ok bool) error {
+	var errs []error
+	for _, a := range []*atomicio.File{s.Trace, s.Metrics} {
+		if a == nil {
+			continue
+		}
+		if ok {
+			errs = append(errs, a.Commit())
+		} else {
+			a.Abort()
+		}
+	}
+	if s.stopCPU != nil {
+		errs = append(errs, s.stopCPU())
+	}
+	errs = append(errs, telemetry.WriteHeapProfile(s.memProfile))
+	return errors.Join(errs...)
+}
+
+// WriteMetricsFile renders the -metrics-out artifact in one atomic shot;
+// a no-op without the flag.
+func (f *Flags) WriteMetricsFile(render func(w io.Writer) error) error {
+	if f.MetricsOut == "" {
+		return nil
+	}
+	return atomicio.WriteFile(f.MetricsOut, render)
+}
