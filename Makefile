@@ -24,24 +24,28 @@ race:
 # Benchmark the core engine paths (the adaptive access path with and
 # without telemetry, plus the end-to-end Table 1 run). The text output is
 # benchstat-compatible; benchjson folds the same stream into the
-# machine-readable BENCH_core.json benchmark record.
+# machine-readable BENCH_core.json benchmark record, asserting both
+# access paths stay allocation-free and the telemetry tax stays <= 2x.
 bench: build
 	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveAccess|BenchmarkTable1$$' \
 		-benchmem -count=5 . | tee /tmp/nucasim-bench.txt
 	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench.txt -out BENCH_core.json \
-		-require BenchmarkAdaptiveAccess,BenchmarkTable1 \
-		-assert-zero-allocs BenchmarkAdaptiveAccess
+		-require BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry,BenchmarkTable1 \
+		-assert-zero-allocs BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry \
+		-max-ratio BenchmarkAdaptiveAccessTelemetry/BenchmarkAdaptiveAccess=2.0
 	@echo "bench record written to BENCH_core.json"
 
-# One-shot benchmark smoke for CI: the steady-state adaptive access path
-# must stay allocation-free (the flat-arena engine's guarantee). Fails if
-# BenchmarkAdaptiveAccess reports any allocs/op.
+# One-shot benchmark smoke for CI: both adaptive access paths must stay
+# allocation-free (the flat-arena engine's guarantee), and the fully
+# instrumented path must cost no more than 2x the bare one.
 bench-smoke: build
-	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveAccess$$' -benchmem \
-		-benchtime=100x -count=1 . | tee /tmp/nucasim-bench-smoke.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveAccess(Telemetry)?$$' -benchmem \
+		-benchtime=200000x -count=3 . | tee /tmp/nucasim-bench-smoke.txt
 	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench-smoke.txt \
 		-out /tmp/nucasim-bench-smoke.json \
-		-require BenchmarkAdaptiveAccess -assert-zero-allocs BenchmarkAdaptiveAccess
+		-require BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry \
+		-assert-zero-allocs BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry \
+		-max-ratio BenchmarkAdaptiveAccessTelemetry/BenchmarkAdaptiveAccess=2.0
 	@echo bench-smoke ok
 
 # Smoke-test the observability pipeline end to end: a short adaptive run

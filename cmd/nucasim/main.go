@@ -252,6 +252,24 @@ func printText(r sim.Result) {
 		r.Memory.Reads, r.Memory.Writebacks, r.Memory.QueueCycles)
 	fmt.Printf("throughput: %s\n", r.Throughput)
 
+	// End-to-end latency distributions (cycles), when telemetry was on.
+	// The full per-core LLC breakdown is in -json / the epoch CSV.
+	if len(r.Histograms) > 0 {
+		printed := false
+		for _, name := range []string{"hierarchy.load_latency", "dram.queue_delay"} {
+			h, ok := r.Histograms[name]
+			if !ok || h.Count == 0 {
+				continue
+			}
+			if !printed {
+				fmt.Printf("\nlatency percentiles (cycles):\n")
+				printed = true
+			}
+			fmt.Printf("  %-24s p50 %8.1f   p90 %8.1f   p99 %8.1f   (n=%d, mean %.1f)\n",
+				name, h.P50, h.P90, h.P99, h.Count, float64(h.Sum)/float64(h.Count))
+		}
+	}
+
 	if r.PartitionLimits == nil {
 		return
 	}

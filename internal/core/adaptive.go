@@ -225,8 +225,15 @@ type Adaptive struct {
 	OnRepartition func(maxBlocks []int, transferred bool)
 
 	// Telemetry plumbing (see SetTelemetry). tel is checked only on the
-	// cold repartition path; trace and the counters are nil-safe, so the
+	// cold repartition path; trace and the recorders are nil-safe, so the
 	// hot access path pays one nil comparison each when disabled.
+	//
+	// The named counters are NOT incremented on the access path: the hot
+	// path already maintains aggStats, and flushTelemetry publishes the
+	// delta since lastCtrFlush into the counters at every epoch boundary
+	// (and on FlushTelemetry, so results and checkpoints see current
+	// values). That turns four per-event pointer increments into one
+	// subtraction per epoch.
 	tel        *telemetry.Telemetry
 	trace      *telemetry.Tracer
 	ctrSwap    *telemetry.Counter
@@ -234,6 +241,15 @@ type Adaptive struct {
 	ctrDemote  *telemetry.Counter
 	ctrEvict   *telemetry.Counter
 	epochStats []llc.AccessStats // per-core snapshot at the last epoch boundary
+
+	// lat streams per-core access latency, split by outcome, into the
+	// registry histograms "llc.c<i>.latency.{local_hit,remote_hit,miss}".
+	lat          *llc.LatencyRecorder
+	lastCtrFlush llc.SetStats // aggStats at the last counter flush
+	// epochLatBase is the merged latency-histogram total at the previous
+	// epoch boundary; observeEpoch subtracts it to publish per-epoch
+	// latency percentiles in the epoch samples.
+	epochLatBase telemetry.Histogram
 }
 
 // NewAdaptive builds the organization over the given memory model.
@@ -436,6 +452,9 @@ func (a *Adaptive) SetTelemetry(t *telemetry.Telemetry) {
 		a.trace = nil
 		a.ctrSwap, a.ctrMigrate, a.ctrDemote, a.ctrEvict = nil, nil, nil, nil
 		a.epochStats = nil
+		a.lat = nil
+		a.lastCtrFlush = llc.SetStats{}
+		a.epochLatBase = telemetry.Histogram{}
 		return
 	}
 	a.trace = t.Trace
@@ -443,9 +462,38 @@ func (a *Adaptive) SetTelemetry(t *telemetry.Telemetry) {
 	a.ctrMigrate = t.Registry.Counter("adaptive.neighbor_migrations")
 	a.ctrDemote = t.Registry.Counter("adaptive.demotions")
 	a.ctrEvict = t.Registry.Counter("adaptive.evictions")
+	a.lat = llc.NewLatencyRecorder(&t.Registry, "llc", a.cfg.Cores)
+	// Counters report activity from attach onward: baseline the flush at
+	// the current aggregates so pre-attach events are not replayed into
+	// them, and baseline the epoch-latency delta at whatever the registry
+	// histograms already hold (restored checkpoints arrive non-empty).
+	a.lastCtrFlush = a.aggStats
+	a.epochLatBase = telemetry.Histogram{}
+	a.lat.MergeInto(&a.epochLatBase)
 	a.epochStats = make([]llc.AccessStats, a.cfg.Cores)
 	copy(a.epochStats, a.perCore)
 }
+
+// flushTelemetry publishes the sharing-engine activity accumulated in
+// aggStats since the last flush into the named registry counters. Called
+// at every repartition (before the epoch observer reads the counters'
+// world) and from FlushTelemetry.
+func (a *Adaptive) flushTelemetry() {
+	if a.tel == nil {
+		return
+	}
+	d := a.aggStats
+	a.ctrSwap.Add(d.Swaps - a.lastCtrFlush.Swaps)
+	a.ctrMigrate.Add(d.Migrations - a.lastCtrFlush.Migrations)
+	a.ctrDemote.Add(d.Demotions - a.lastCtrFlush.Demotions)
+	a.ctrEvict.Add(d.Evictions - a.lastCtrFlush.Evictions)
+	a.lastCtrFlush = d
+}
+
+// FlushTelemetry forces the epoch-deferred counter flush so the registry
+// is current between epoch boundaries. The simulation driver calls it
+// before building results and before capturing a checkpoint.
+func (a *Adaptive) FlushTelemetry() { a.flushTelemetry() }
 
 // Telemetry returns the attached instance (nil when disabled).
 func (a *Adaptive) Telemetry() *telemetry.Telemetry { return a.tel }
@@ -491,19 +539,29 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			// missed (Section 2.1).
 			a.lruHits[coreID]++
 		}
-		if write || a.trace != nil {
+		if write {
 			nd := &a.nodes[setBase+int(m.head)]
-			nd.dirty = nd.dirty || write
-			if a.trace != nil {
-				a.trace.Block(telemetry.KindHit, telemetry.BlockEvent{
+			nd.dirty = true
+			if a.trace.ShouldEmit(telemetry.KindHit) {
+				a.trace.EmitBlock(telemetry.KindHit, telemetry.BlockEvent{
 					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
-					Tag: tag, Depth: 0, Home: int(nd.home), Dirty: nd.dirty,
+					Tag: tag, Depth: 0, Home: int(nd.home), Dirty: true,
 				})
 			}
+		} else if a.trace.ShouldEmit(telemetry.KindHit) {
+			// Read hit: the node line is only touched when the sampler
+			// actually wants the event, so the skipped common case costs
+			// one increment and one compare.
+			nd := &a.nodes[setBase+int(m.head)]
+			a.trace.EmitBlock(telemetry.KindHit, telemetry.BlockEvent{
+				Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
+				Tag: tag, Depth: 0, Home: int(nd.home), Dirty: nd.dirty,
+			})
 		}
 		st.LocalHits++
 		lat := uint64(a.cfg.Latencies.LocalHit)
 		st.TotalLatency += lat
+		a.lat.ObserveLocal(coreID, lat)
 		return now + lat, true
 	}
 	for n, depth := m.head, 0; n != nilSlot; depth++ {
@@ -513,8 +571,8 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 				a.lruHits[coreID]++
 			}
 			nd.dirty = nd.dirty || write
-			if a.trace != nil {
-				a.trace.Block(telemetry.KindHit, telemetry.BlockEvent{
+			if a.trace.ShouldEmit(telemetry.KindHit) {
+				a.trace.EmitBlock(telemetry.KindHit, telemetry.BlockEvent{
 					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
 					Tag: tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 				})
@@ -523,6 +581,7 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			st.LocalHits++
 			lat := uint64(a.cfg.Latencies.LocalHit)
 			st.TotalLatency += lat
+			a.lat.ObserveLocal(coreID, lat)
 			return now + lat, true
 		}
 		n = nd.next
@@ -546,15 +605,19 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 				st.RemoteHits++
 			}
 			st.TotalLatency += lat
+			if local {
+				a.lat.ObserveLocal(coreID, lat)
+			} else {
+				a.lat.ObserveRemote(coreID, lat)
+			}
 
 			// Section 2.3: the hit block moves into the private
 			// partition; the private LRU block takes its slot and
 			// becomes shared-MRU.
-			a.ctrSwap.Inc()
 			a.setStats[setIdx].Swaps++
 			a.aggStats.Swaps++
-			if a.trace != nil {
-				a.trace.Block(telemetry.KindSwap, telemetry.BlockEvent{
+			if a.trace.ShouldEmit(telemetry.KindSwap) {
+				a.trace.EmitBlock(telemetry.KindSwap, telemetry.BlockEvent{
 					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
 					Tag: tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 				})
@@ -592,11 +655,10 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			}
 			// Hit in a neighbor's private partition (shared data):
 			// migrate to the requester, like a neighbor-cache hit.
-			a.ctrMigrate.Inc()
 			a.setStats[setIdx].Migrations++
 			a.aggStats.Migrations++
-			if a.trace != nil {
-				a.trace.Block(telemetry.KindMigrate, telemetry.BlockEvent{
+			if a.trace.ShouldEmit(telemetry.KindMigrate) {
+				a.trace.EmitBlock(telemetry.KindMigrate, telemetry.BlockEvent{
 					Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
 					Tag: tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 				})
@@ -607,6 +669,7 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 			st.RemoteHits++
 			lat := uint64(a.cfg.Latencies.RemoteHit)
 			st.TotalLatency += lat
+			a.lat.ObserveRemote(coreID, lat)
 			oldHome := nd.home
 			nd.dirty = nd.dirty || write
 			nd.owner = int8(coreID) // requester is the new fetcher
@@ -626,6 +689,7 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	}
 	ready, _ := a.mem.ReadBlock(now)
 	st.TotalLatency += ready - now
+	a.lat.ObserveMiss(coreID, ready-now)
 
 	n := a.allocNode(setBase, sh)
 	a.nodes[setBase+int(n)] = blockNode{tag: tag, owner: int8(coreID), home: int8(coreID), dirty: write, prev: nilSlot, next: nilSlot}
@@ -635,8 +699,8 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 	a.totalPriv++
 	a.setStats[setIdx].Fills++
 	a.aggStats.Fills++
-	if a.trace != nil {
-		a.trace.Block(telemetry.KindFill, telemetry.BlockEvent{
+	if a.trace.ShouldEmit(telemetry.KindFill) {
+		a.trace.EmitBlock(telemetry.KindFill, telemetry.BlockEvent{
 			Cycle: now, Core: coreID, Owner: coreID, Set: setIdx,
 			Tag: tag, Depth: 0, Home: coreID, Dirty: write,
 		})
@@ -649,11 +713,10 @@ func (a *Adaptive) Access(coreID int, addr memaddr.Addr, write bool, now uint64)
 		nd := &a.nodes[setBase+int(dn)]
 		a.privUnlink(setBase, m, dn)
 		st.Demotions++
-		a.ctrDemote.Inc()
 		a.setStats[setIdx].Demotions++
 		a.aggStats.Demotions++
-		if a.trace != nil {
-			a.trace.Block(telemetry.KindDemote, telemetry.BlockEvent{
+		if a.trace.ShouldEmit(telemetry.KindDemote) {
+			a.trace.EmitBlock(telemetry.KindDemote, telemetry.BlockEvent{
 				Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
 				Tag: nd.tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 			})
@@ -701,11 +764,10 @@ func (a *Adaptive) adoptIntoPrivate(setIdx, coreID int, n int16, vacatedHome int
 		nd.home = vacatedHome
 		a.cnts[base+int(vacatedHome)].home++
 		a.perCore[coreID].Demotions++
-		a.ctrDemote.Inc()
 		a.setStats[setIdx].Demotions++
 		a.aggStats.Demotions++
-		if a.trace != nil {
-			a.trace.Block(telemetry.KindDemote, telemetry.BlockEvent{
+		if a.trace.ShouldEmit(telemetry.KindDemote) {
+			a.trace.EmitBlock(telemetry.KindDemote, telemetry.BlockEvent{
 				Cycle: now, Core: coreID, Owner: int(nd.owner), Set: setIdx,
 				Tag: nd.tag, Depth: depth, Home: int(nd.home), Dirty: nd.dirty,
 			})
@@ -759,15 +821,14 @@ func (a *Adaptive) evictAlgorithm1(setIdx, requester int, now uint64) {
 	cnts[vHome].home--
 	a.freeNode(setBase, sh, victim)
 	a.totalShared--
-	a.ctrEvict.Inc()
 	a.setStats[setIdx].Evictions++
 	a.aggStats.Evictions++
 	if int(vOwner) != requester {
 		a.setStats[setIdx].Steals++
 		a.aggStats.Steals++
 	}
-	if a.trace != nil {
-		a.trace.Block(telemetry.KindEvict, telemetry.BlockEvent{
+	if a.trace.ShouldEmit(telemetry.KindEvict) {
+		a.trace.EmitBlock(telemetry.KindEvict, telemetry.BlockEvent{
 			Cycle: now, Core: requester, Owner: int(vOwner), Set: setIdx,
 			Tag: vTag, Depth: depth, Home: int(vHome),
 			Dirty: vDirty, OverLimit: overLimit,
@@ -873,6 +934,7 @@ func (a *Adaptive) repartition(now uint64) {
 		a.sinceLimitChange++
 	}
 	if a.tel != nil {
+		a.flushTelemetry()
 		a.observeEpoch(now, gainer, loser, gain, loss, transferred)
 	}
 	for c := range a.shadowHits {
@@ -915,6 +977,16 @@ func (a *Adaptive) observeEpoch(now uint64, gainer, loser int, gain, loss float6
 		EpochsSinceLimitChange: a.sinceLimitChange,
 	}
 	a.lastSetAgg = agg
+	// Per-epoch access-latency percentiles: merge the per-core/per-outcome
+	// histograms, subtract the previous boundary's totals, interpolate.
+	var cur telemetry.Histogram
+	a.lat.MergeInto(&cur)
+	delta := cur
+	delta.Subtract(&a.epochLatBase)
+	a.epochLatBase = cur
+	s.LatP50 = delta.Quantile(0.50)
+	s.LatP90 = delta.Quantile(0.90)
+	s.LatP99 = delta.Quantile(0.99)
 	for c := range a.perCore {
 		s.EpochAccesses[c] = a.perCore[c].Accesses - a.epochStats[c].Accesses
 		s.EpochMisses[c] = a.perCore[c].Misses - a.epochStats[c].Misses
@@ -1016,6 +1088,9 @@ func (a *Adaptive) Reset() {
 	}
 	a.aggStats = llc.SetStats{}
 	a.lastSetAgg = llc.SetStats{}
+	a.lastCtrFlush = llc.SetStats{}
+	a.epochLatBase = telemetry.Histogram{}
+	a.lat.MergeInto(&a.epochLatBase)
 	a.missesSinceRepart = 0
 	a.Repartitions = 0
 	a.Evaluations = 0

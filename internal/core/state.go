@@ -5,6 +5,7 @@ import (
 
 	"nucasim/internal/cache"
 	"nucasim/internal/llc"
+	"nucasim/internal/telemetry"
 )
 
 // BlockState is one resident block with exported fields for serialization.
@@ -44,6 +45,12 @@ type State struct {
 	SetStats   []llc.SetStats
 	LastSetAgg llc.SetStats
 	EpochStats []llc.AccessStats // nil when telemetry was detached
+
+	// EpochLatBase carries the merged latency-histogram totals at the last
+	// epoch boundary, so a resumed run's per-epoch latency percentiles
+	// continue from the same baseline. Zero-valued when telemetry was
+	// detached (gob decodes its absence in old checkpoints to the same).
+	EpochLatBase telemetry.HistogramState
 
 	Repartitions     uint64
 	Evaluations      uint64
@@ -92,6 +99,9 @@ func (a *Adaptive) Snapshot() State {
 	}
 	if a.epochStats != nil {
 		st.EpochStats = append([]llc.AccessStats(nil), a.epochStats...)
+	}
+	if a.tel != nil {
+		st.EpochLatBase = a.epochLatBase.State()
 	}
 	for i := range st.Sets {
 		ss := SetState{Priv: make([][]BlockState, a.cfg.Cores)}
@@ -180,6 +190,13 @@ func (a *Adaptive) Restore(st State) error {
 	a.lastSetAgg = st.LastSetAgg
 	if st.EpochStats != nil && a.epochStats != nil {
 		copy(a.epochStats, st.EpochStats)
+	}
+	// Counters were flushed when the checkpoint was captured (their values
+	// travel in the registry state), so the flush baseline resumes at the
+	// restored aggregates; the epoch-latency baseline travels explicitly.
+	a.lastCtrFlush = a.aggStats
+	if err := a.epochLatBase.RestoreState(st.EpochLatBase); err != nil {
+		return err
 	}
 	a.Repartitions = st.Repartitions
 	a.Evaluations = st.Evaluations

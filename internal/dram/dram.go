@@ -10,7 +10,10 @@
 // part of the paper's simulator ("including congestion to main memory").
 package dram
 
-import "nucasim/internal/memaddr"
+import (
+	"nucasim/internal/memaddr"
+	"nucasim/internal/telemetry"
+)
 
 // Config describes memory timing. Zero fields select Table 1 defaults for
 // a shared last-level cache; use PrivateConfig/ScaledConfig helpers for
@@ -97,6 +100,11 @@ type Memory struct {
 	cfg      Config
 	nextFree uint64
 	Stats    Stats
+	// queueHist, when attached, receives every demand read's channel
+	// queueing delay (0 when the channel was idle) — the congestion
+	// distribution behind the scalar QueueCycles sum. Purely
+	// observational; it never changes timing.
+	queueHist *telemetry.Histogram
 }
 
 // New builds a memory model; zero Config fields take Table 1 defaults.
@@ -117,6 +125,7 @@ func (m *Memory) ReadBlock(now uint64) (criticalReady, blockDone uint64) {
 		m.Stats.QueueCycles += m.nextFree - start
 		start = m.nextFree
 	}
+	m.queueHist.Observe(start - now)
 	occ := m.cfg.channelCycles()
 	m.nextFree = start + occ
 	m.Stats.BusyCycles += occ
@@ -141,6 +150,12 @@ func (m *Memory) Writeback(now uint64) {
 	m.Stats.LastBusyTime = m.nextFree
 	m.Stats.Writebacks++
 }
+
+// SetQueueDelayHistogram attaches (or, with nil, detaches) the demand
+// read queue-delay histogram. The histogram's contents are owned by the
+// telemetry registry; checkpoints restore them through RegistryState,
+// not through dram.State.
+func (m *Memory) SetQueueDelayHistogram(h *telemetry.Histogram) { m.queueHist = h }
 
 // NextFree exposes the channel's next idle cycle (for tests and
 // utilization reporting).

@@ -18,6 +18,7 @@ import (
 	"nucasim/internal/cache"
 	"nucasim/internal/llc"
 	"nucasim/internal/memaddr"
+	"nucasim/internal/telemetry"
 	"nucasim/internal/tlb"
 )
 
@@ -75,6 +76,10 @@ type Hierarchy struct {
 	l2d   []*cache.Cache
 	itlbs []*tlb.TLB
 	dtlbs []*tlb.TLB
+	// loadHist, when attached, receives every data load's end-to-end
+	// latency (TLB penalty through data return) — the distribution a
+	// core actually stalls on, spanning L1 hits to congested DRAM.
+	loadHist *telemetry.Histogram
 }
 
 // New builds the hierarchy over a last-level organization.
@@ -174,10 +179,16 @@ func (p *Port) fillL2(l2 *cache.Cache, bn memaddr.BlockNum, now uint64) {
 	}
 }
 
+// SetLoadLatencyHistogram attaches (or, with nil, detaches) the
+// end-to-end data-load latency histogram.
+func (h *Hierarchy) SetLoadLatencyHistogram(hist *telemetry.Histogram) { h.loadHist = hist }
+
 // ReadData implements cpu.Port.
 func (p *Port) ReadData(addr memaddr.Addr, now uint64) uint64 {
 	pen := uint64(p.h.dtlbs[p.core].Access(addr))
-	return p.access(p.h.l1d[p.core], p.h.l2d[p.core], p.h.cfg.L1DLat, addr, false, now+pen)
+	done := p.access(p.h.l1d[p.core], p.h.l2d[p.core], p.h.cfg.L1DLat, addr, false, now+pen)
+	p.h.loadHist.Observe(done - now)
+	return done
 }
 
 // WriteData implements cpu.Port (write-allocate; the line is dirtied in

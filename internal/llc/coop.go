@@ -31,6 +31,7 @@ type Cooperative struct {
 	lat     Latencies
 	r       *rng.Rand
 	perCore []AccessStats
+	latRec  *LatencyRecorder
 }
 
 // NewCooperative builds the Table 1-sized cooperative organization (1 MB
@@ -69,6 +70,7 @@ func (co *Cooperative) Access(core int, addr memaddr.Addr, write bool, now uint6
 	if hit, _ := local.Access(addr, write); hit {
 		st.LocalHits++
 		st.TotalLatency += uint64(co.lat.LocalHit)
+		co.latRec.ObserveLocal(core, uint64(co.lat.LocalHit))
 		return now + uint64(co.lat.LocalHit), true
 	}
 	// Check all neighbors (in parallel in hardware; any order here —
@@ -81,6 +83,7 @@ func (co *Cooperative) Access(core int, addr memaddr.Addr, write bool, now uint6
 			// Migrate to the local cache as MRU.
 			st.RemoteHits++
 			st.TotalLatency += uint64(co.lat.RemoteHit)
+			co.latRec.ObserveRemote(core, uint64(co.lat.RemoteHit))
 			victim, victimAddr := local.Install(addr, blk.Dirty || write, blk.Owner)
 			co.handleLocalVictim(core, victim, victimAddr, now)
 			return now + uint64(co.lat.RemoteHit), true
@@ -89,6 +92,7 @@ func (co *Cooperative) Access(core int, addr memaddr.Addr, write bool, now uint6
 	// Full miss: fetch from memory into the local cache.
 	st.Misses++
 	ready, _ := co.mem.ReadBlock(now)
+	co.latRec.ObserveMiss(core, ready-now)
 	victim, victimAddr := local.Install(addr, write, core)
 	co.handleLocalVictim(core, victim, victimAddr, now)
 	st.TotalLatency += ready - now
@@ -160,6 +164,9 @@ func (co *Cooperative) Reset() {
 		co.perCore[i] = AccessStats{}
 	}
 }
+
+// SetLatencyRecorder implements LatencyObserver.
+func (co *Cooperative) SetLatencyRecorder(r *LatencyRecorder) { co.latRec = r }
 
 // Memory returns the underlying memory model (test helper).
 func (co *Cooperative) Memory() *dram.Memory { return co.mem }

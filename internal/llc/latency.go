@@ -1,0 +1,88 @@
+package llc
+
+import (
+	"fmt"
+
+	"nucasim/internal/telemetry"
+)
+
+// LatencyRecorder observes per-core L3 access latencies split by outcome
+// — local-partition hit, remote/shared hit, miss (DRAM round-trip) —
+// into registry histograms. The split is the paper's whole argument in
+// distribution form: the adaptive scheme trades cheap local hits against
+// expensive remote hits and misses, and a mean hides exactly that.
+//
+// A nil *LatencyRecorder no-ops, so organizations pay one pointer
+// comparison when telemetry is off; the Observe* methods are
+// allocation-free (telemetry.Histogram.Observe is a bounded array
+// increment).
+type LatencyRecorder struct {
+	local  []*telemetry.Histogram
+	remote []*telemetry.Histogram
+	miss   []*telemetry.Histogram
+}
+
+// NewLatencyRecorder registers three histograms per core under
+// "<prefix>.c<i>.latency.{local_hit,remote_hit,miss}" and returns the
+// recorder bound to them. Registration happens once, here; the hot path
+// indexes the cached pointers.
+func NewLatencyRecorder(reg *telemetry.Registry, prefix string, cores int) *LatencyRecorder {
+	if reg == nil {
+		return nil
+	}
+	r := &LatencyRecorder{
+		local:  make([]*telemetry.Histogram, cores),
+		remote: make([]*telemetry.Histogram, cores),
+		miss:   make([]*telemetry.Histogram, cores),
+	}
+	for c := 0; c < cores; c++ {
+		r.local[c] = reg.Histogram(fmt.Sprintf("%s.c%d.latency.local_hit", prefix, c))
+		r.remote[c] = reg.Histogram(fmt.Sprintf("%s.c%d.latency.remote_hit", prefix, c))
+		r.miss[c] = reg.Histogram(fmt.Sprintf("%s.c%d.latency.miss", prefix, c))
+	}
+	return r
+}
+
+// ObserveLocal records a local-partition hit latency for core.
+func (r *LatencyRecorder) ObserveLocal(core int, cycles uint64) {
+	if r == nil {
+		return
+	}
+	r.local[core].Observe(cycles)
+}
+
+// ObserveRemote records a remote- or shared-partition hit latency.
+func (r *LatencyRecorder) ObserveRemote(core int, cycles uint64) {
+	if r == nil {
+		return
+	}
+	r.remote[core].Observe(cycles)
+}
+
+// ObserveMiss records a miss's full memory round-trip latency.
+func (r *LatencyRecorder) ObserveMiss(core int, cycles uint64) {
+	if r == nil {
+		return
+	}
+	r.miss[core].Observe(cycles)
+}
+
+// MergeInto folds every per-core, per-outcome histogram into dst — the
+// all-outcome access-latency distribution the adaptive engine reports
+// per epoch.
+func (r *LatencyRecorder) MergeInto(dst *telemetry.Histogram) {
+	if r == nil {
+		return
+	}
+	for _, hs := range [][]*telemetry.Histogram{r.local, r.remote, r.miss} {
+		for _, h := range hs {
+			dst.Merge(h)
+		}
+	}
+}
+
+// LatencyObserver is implemented by organizations that can record their
+// access-latency distributions; sim wires it up when telemetry is on.
+type LatencyObserver interface {
+	SetLatencyRecorder(r *LatencyRecorder)
+}

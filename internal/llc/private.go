@@ -18,6 +18,7 @@ type Private struct {
 	mem     *dram.Memory
 	hitLat  int
 	perCore []AccessStats
+	lat     *LatencyRecorder
 }
 
 // NewPrivate builds the Table 1 private organization: 1 MB 4-way per core,
@@ -62,10 +63,12 @@ func (p *Private) Access(core int, addr memaddr.Addr, write bool, now uint64) (u
 	if hit, _ := c.Access(addr, write); hit {
 		st.LocalHits++
 		st.TotalLatency += uint64(p.hitLat)
+		p.lat.ObserveLocal(core, uint64(p.hitLat))
 		return now + uint64(p.hitLat), true
 	}
 	st.Misses++
 	ready, _ := p.mem.ReadBlock(now)
+	p.lat.ObserveMiss(core, ready-now)
 	victim, _ := c.Install(addr, write, core)
 	if victim.Valid {
 		st.Evictions++
@@ -110,6 +113,9 @@ func (p *Private) Reset() {
 		p.perCore[i] = AccessStats{}
 	}
 }
+
+// SetLatencyRecorder implements LatencyObserver.
+func (p *Private) SetLatencyRecorder(r *LatencyRecorder) { p.lat = r }
 
 // Memory returns the underlying memory model (test helper).
 func (p *Private) Memory() *dram.Memory { return p.mem }

@@ -14,6 +14,7 @@ type Shared struct {
 	mem     *dram.Memory
 	hitLat  int
 	perCore []AccessStats
+	lat     *LatencyRecorder
 }
 
 // NewShared builds the Table 1 shared organization over the given memory.
@@ -42,10 +43,14 @@ func (s *Shared) Access(core int, addr memaddr.Addr, write bool, now uint64) (ui
 	if hit, _ := s.c.Access(addr, write); hit {
 		st.LocalHits++
 		st.TotalLatency += uint64(s.hitLat)
+		// A monolithic shared array has one hit latency; it lands in the
+		// remote-hit histogram because 19 cycles is the far-bank figure.
+		s.lat.ObserveRemote(core, uint64(s.hitLat))
 		return now + uint64(s.hitLat), true
 	}
 	st.Misses++
 	ready, _ := s.mem.ReadBlock(now)
+	s.lat.ObserveMiss(core, ready-now)
 	victim, _ := s.c.Install(addr, write, core)
 	if victim.Valid {
 		st.Evictions++
@@ -83,6 +88,9 @@ func (s *Shared) Reset() {
 		s.perCore[i] = AccessStats{}
 	}
 }
+
+// SetLatencyRecorder implements LatencyObserver.
+func (s *Shared) SetLatencyRecorder(r *LatencyRecorder) { s.lat = r }
 
 // Memory returns the underlying memory model (test helper).
 func (s *Shared) Memory() *dram.Memory { return s.mem }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"nucasim/internal/sim"
 	"nucasim/internal/telemetry"
@@ -108,6 +109,9 @@ type Job struct {
 	ID  string
 	cfg sim.Config
 	mix []workload.AppParams
+	// enqueued is when the job entered the FIFO; the queue-wait histogram
+	// measures from here to the moment a worker picks the job up.
+	enqueued time.Time
 
 	mu       sync.Mutex
 	state    JobState
@@ -124,12 +128,13 @@ type Job struct {
 
 func newJob(id string, cfg sim.Config, mix []workload.AppParams) *Job {
 	return &Job{
-		ID:     id,
-		cfg:    cfg,
-		mix:    mix,
-		state:  StateQueued,
-		epochs: telemetry.NewRing(telemetry.DefaultEpochCapacity),
-		wait:   make(chan struct{}),
+		ID:       id,
+		cfg:      cfg,
+		mix:      mix,
+		enqueued: time.Now(),
+		state:    StateQueued,
+		epochs:   telemetry.NewRing(telemetry.DefaultEpochCapacity),
+		wait:     make(chan struct{}),
 	}
 }
 

@@ -18,6 +18,11 @@ type serverMetrics struct {
 
 func (m *serverMetrics) init() {
 	m.mu = make(chan struct{}, 1)
+	// Register the job-latency histograms eagerly so the first scrape
+	// already exposes the full family set (with zero counts), not only
+	// after the first job completes.
+	m.reg.Histogram("serve.job_queue_wait_us")
+	m.reg.Histogram("serve.job_run_us")
 }
 
 func (m *serverMetrics) inc(name string) {
@@ -26,28 +31,49 @@ func (m *serverMetrics) inc(name string) {
 	<-m.mu
 }
 
-func (m *serverMetrics) counters() map[string]uint64 {
+func (m *serverMetrics) observe(name string, v uint64) {
 	m.mu <- struct{}{}
-	out := m.reg.Counters()
+	m.reg.Histogram(name).Observe(v)
+	<-m.mu
+}
+
+// merge folds a finished job's simulation histograms (per-core LLC
+// latency, DRAM queue delay, end-to-end load latency) into the server's
+// registry, so /metrics aggregates distributions across jobs.
+func (m *serverMetrics) merge(hists map[string]telemetry.HistogramSnapshot) {
+	m.mu <- struct{}{}
+	for name, s := range hists {
+		m.reg.Histogram(name).AddSnapshot(s)
+	}
+	<-m.mu
+}
+
+func (m *serverMetrics) snapshot() telemetry.MetricsSnapshot {
+	m.mu <- struct{}{}
+	out := m.reg.Metrics()
 	<-m.mu
 	return out
 }
 
-// writeMetrics renders the /metrics exposition: every lifecycle counter
-// plus gauges computed at scrape time — per-state job counts, queue and
-// pool occupancy, uptime, and the process-wide simulated-cycle
-// throughput shared with the CLI tools.
+// writeMetrics renders the /metrics exposition: every registry
+// instrument — lifecycle counters, job-latency and merged simulation
+// histograms — plus gauges computed at scrape time (per-state job
+// counts, queue and pool occupancy, uptime, and the process-wide
+// simulated-cycle throughput shared with the CLI tools). Everything
+// renders through the one telemetry.WriteMetrics path, so registry
+// gauges and scrape-time gauges can no longer diverge.
 func (s *Server) writeMetrics(w io.Writer) error {
-	counters := s.metrics.counters()
+	m := s.metrics.snapshot()
+	if m.Gauges == nil {
+		m.Gauges = make(map[string]float64)
+	}
 
 	s.mu.Lock()
-	gauges := map[string]float64{
-		"serve.queue_depth":    float64(len(s.queue)),
-		"serve.queue_capacity": float64(s.opts.QueueDepth),
-		"serve.workers":        float64(s.opts.Workers),
-		"serve.workers_busy":   float64(s.running),
-		"serve.draining":       b2f(s.draining),
-	}
+	m.Gauges["serve.queue_depth"] = float64(len(s.queue))
+	m.Gauges["serve.queue_capacity"] = float64(s.opts.QueueDepth)
+	m.Gauges["serve.workers"] = float64(s.opts.Workers)
+	m.Gauges["serve.workers_busy"] = float64(s.running)
+	m.Gauges["serve.draining"] = b2f(s.draining)
 	perState := make(map[JobState]int)
 	for _, j := range s.jobs {
 		j.mu.Lock()
@@ -58,16 +84,16 @@ func (s *Server) writeMetrics(w io.Writer) error {
 
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone,
 		StateFailed, StateCanceled, StateCheckpointed, StateInterrupted} {
-		gauges["serve.jobs_"+string(st)] = float64(perState[st])
+		m.Gauges["serve.jobs_"+string(st)] = float64(perState[st])
 	}
 	up := time.Since(s.started).Seconds()
-	gauges["serve.uptime_seconds"] = up
+	m.Gauges["serve.uptime_seconds"] = up
 	cycles := sim.CyclesSimulated()
-	gauges["sim.cycles_simulated"] = float64(cycles)
+	m.Gauges["sim.cycles_simulated"] = float64(cycles)
 	if up > 0 {
-		gauges["sim.cycles_per_second"] = float64(cycles) / up
+		m.Gauges["sim.cycles_per_second"] = float64(cycles) / up
 	}
-	return telemetry.WriteMetricsText(w, counters, gauges)
+	return telemetry.WriteMetrics(w, m)
 }
 
 func b2f(b bool) float64 {

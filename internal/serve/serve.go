@@ -307,6 +307,9 @@ func (s *Server) runJob(j *Job) {
 	j.bumpLocked()
 	j.mu.Unlock()
 
+	s.metrics.observe("serve.job_queue_wait_us", uint64(time.Since(j.enqueued).Microseconds()))
+	runStart := time.Now()
+
 	var res sim.Result
 	var err error
 	if resume {
@@ -321,8 +324,11 @@ func (s *Server) runJob(j *Job) {
 		res, err = sim.RunContext(ctx, s.jobConfig(j), j.mix)
 	}
 
+	s.metrics.observe("serve.job_run_us", uint64(time.Since(runStart).Microseconds()))
+
 	switch {
 	case err == nil:
+		s.metrics.merge(res.Histograms)
 		result, encErr := EncodeResult(res)
 		if encErr == nil {
 			encErr = s.store.PutResult(j.ID, result, encodeEpochCSV(res))

@@ -81,6 +81,11 @@ func (m *Machine) captureCheckpoint(before snapshot, measured uint64, mix []work
 	cfg := m.Cfg
 	tcfg := cfg.Telemetry
 	cfg.Telemetry = nil
+	if m.Adaptive != nil {
+		// Publish the epoch-deferred counter deltas so the registry state
+		// below carries current values (Restore re-baselines the flush).
+		m.Adaptive.FlushTelemetry()
+	}
 	ck := &Checkpoint{
 		Version:      checkpointVersion,
 		Cfg:          cfg,

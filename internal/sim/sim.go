@@ -186,6 +186,13 @@ type Result struct {
 	// adaptive.demotions, ...), when telemetry was enabled.
 	Counters map[string]uint64 `json:",omitempty"`
 
+	// Histograms snapshots every registry latency distribution when
+	// telemetry was enabled: per-core LLC access latency by outcome
+	// (llc.c<i>.latency.*), DRAM queue delay (dram.queue_delay), and
+	// end-to-end load latency (hierarchy.load_latency), each with
+	// interpolated p50/p90/p99 and its non-empty buckets.
+	Histograms map[string]telemetry.HistogramSnapshot `json:",omitempty"`
+
 	// SetStats is the adaptive scheme's per-global-set activity (fills,
 	// swaps, migrations, demotions, evictions, steals), indexed by set.
 	// Present when telemetry was enabled; the data behind nucadbg's
@@ -294,6 +301,16 @@ func NewMachine(cfg Config, mix []workload.AppParams) *Machine {
 	}
 	if tcfg != nil {
 		m.Telemetry = telemetry.New(*tcfg)
+		reg := &m.Telemetry.Registry
+		mem.SetQueueDelayHistogram(reg.Histogram("dram.queue_delay"))
+		h.SetLoadLatencyHistogram(reg.Histogram("hierarchy.load_latency"))
+		if adaptive == nil {
+			// The adaptive engine wires its own recorder in SetTelemetry;
+			// the baseline organizations get one here.
+			if obs, ok := org.(llc.LatencyObserver); ok {
+				obs.SetLatencyRecorder(llc.NewLatencyRecorder(reg, "llc", cfg.Cores))
+			}
+		}
 		if adaptive != nil {
 			adaptive.SetTelemetry(m.Telemetry)
 			if m.Verifier != nil {
@@ -433,9 +450,14 @@ func (m *Machine) results(mix []workload.AppParams, before snapshot, wall time.D
 		res.Evaluations = m.Adaptive.Evaluations
 	}
 	if m.Telemetry != nil {
+		if m.Adaptive != nil {
+			// Counters are epoch-deferred; publish the tail of the run.
+			m.Adaptive.FlushTelemetry()
+		}
 		res.Epochs = m.Telemetry.Epochs.Samples()
 		res.EpochsDropped = m.Telemetry.Epochs.Dropped()
 		res.Counters = m.Telemetry.Registry.Counters()
+		res.Histograms = m.Telemetry.Registry.Histograms()
 		if m.Adaptive != nil {
 			res.SetStats = m.Adaptive.SetStats()
 		}

@@ -46,6 +46,13 @@ type EpochSample struct {
 	// of a run is the "latched limits" signature the ROADMAP flags.
 	EpochsSinceLimitChange uint64 `json:"epochs_since_limit_change"`
 
+	// Interpolated percentiles of the LLC access-latency distribution over
+	// this epoch (all cores, all outcomes), in cycles. Zero when no access
+	// completed in the epoch.
+	LatP50 float64 `json:"lat_p50"`
+	LatP90 float64 `json:"lat_p90"`
+	LatP99 float64 `json:"lat_p99"`
+
 	// Per-core LLC activity during the epoch.
 	EpochAccesses []uint64 `json:"epoch_accesses"`
 	EpochMisses   []uint64 `json:"epoch_misses"`
@@ -157,8 +164,8 @@ func (r *Ring) Samples() []EpochSample {
 //
 // Columns: eval, cycle, gainer, loser, gain, loss, transferred,
 // private_blocks, shared_blocks, swaps, migrations, demotions,
-// evictions, steals, since_limit_change, then per core: limit_i,
-// shadow_i, lru_i, acc_i, miss_i, miss_rate_i.
+// evictions, steals, since_limit_change, lat_p50, lat_p90, lat_p99,
+// then per core: limit_i, shadow_i, lru_i, acc_i, miss_i, miss_rate_i.
 func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 	cw := csv.NewWriter(w)
 	if len(samples) == 0 {
@@ -169,7 +176,7 @@ func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 	header := []string{"eval", "cycle", "gainer", "loser", "gain", "loss",
 		"transferred", "private_blocks", "shared_blocks",
 		"swaps", "migrations", "demotions", "evictions", "steals",
-		"since_limit_change"}
+		"since_limit_change", "lat_p50", "lat_p90", "lat_p99"}
 	for _, col := range []string{"limit", "shadow", "lru", "acc", "miss", "miss_rate"} {
 		for c := 0; c < cores; c++ {
 			header = append(header, fmt.Sprintf("%s_%d", col, c))
@@ -197,6 +204,9 @@ func WriteEpochCSV(w io.Writer, samples []EpochSample) error {
 			strconv.FormatUint(s.EpochEvictions, 10),
 			strconv.FormatUint(s.EpochSteals, 10),
 			strconv.FormatUint(s.EpochsSinceLimitChange, 10),
+			strconv.FormatFloat(s.LatP50, 'g', -1, 64),
+			strconv.FormatFloat(s.LatP90, 'g', -1, 64),
+			strconv.FormatFloat(s.LatP99, 'g', -1, 64),
 		)
 		for c := 0; c < cores; c++ {
 			row = append(row, strconv.Itoa(s.Limits[c]))

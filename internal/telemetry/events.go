@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // Kind enumerates the discrete sharing-engine events the tracer records.
@@ -113,38 +114,69 @@ type BlockEvent struct {
 // TestTraceDeterministic in internal/sim). That guarantee is what makes
 // traces usable as golden regression artifacts.
 type Tracer struct {
-	bw      *bufio.Writer
-	enc     *json.Encoder
-	run     string
-	every   [numKinds]uint64
-	seen    [numKinds]uint64
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	run   string
+	every [numKinds]uint64
+	seen  [numKinds]uint64
+	// next holds, per kind, the seen-count at which the next event is
+	// emitted, so the hot-path sampling decision is one increment and one
+	// compare — no modulo. Invariant: next = the smallest v > seen with
+	// (v-1) % every == 0.
+	next    [numKinds]uint64
 	written [numKinds]uint64
+	// prefix is the precomputed JSON prologue per kind — `{"type":"hit"`
+	// plus the run label when set — so EmitBlock renders the invariant
+	// part of every line with a single copy.
+	prefix  [numKinds][]byte
+	scratch []byte
 	err     error
 }
 
 // NewTracer builds a tracer over w. sampleEvery overrides the per-kind
 // default rates (see DefaultSampleEvery); a rate of 0 keeps the default.
 func NewTracer(w io.Writer, run string, sampleEvery map[Kind]uint64) *Tracer {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<16)
 	t := &Tracer{bw: bw, enc: json.NewEncoder(bw), run: run}
+	// The run label is JSON-encoded once, exactly as encoding/json would
+	// (including HTML escaping), so hand-rolled lines stay byte-identical
+	// to what json.Marshal(BlockEvent) produces.
+	var runJSON []byte
+	if run != "" {
+		runJSON, _ = json.Marshal(run)
+	}
 	for k := Kind(0); k < numKinds; k++ {
 		t.every[k] = DefaultSampleEvery(k)
 		if n, ok := sampleEvery[k]; ok && n > 0 {
 			t.every[k] = n
 		}
+		t.next[k] = 1
+		p := append([]byte(`{"type":"`), kindNames[k]...)
+		p = append(p, '"')
+		if run != "" {
+			p = append(p, `,"run":`...)
+			p = append(p, runJSON...)
+		}
+		t.prefix[k] = p
 	}
+	t.scratch = make([]byte, 0, 256)
 	return t
 }
 
 // ShouldEmit counts one occurrence of kind k and reports whether it
 // falls on the sampling stride (the first of every N). Callers gate
-// event construction on it so skipped events cost one increment.
+// event construction on it so skipped events cost one increment and one
+// compare.
 func (t *Tracer) ShouldEmit(k Kind) bool {
 	if t == nil || t.err != nil {
 		return false
 	}
 	t.seen[k]++
-	return (t.seen[k]-1)%t.every[k] == 0
+	if t.seen[k] != t.next[k] {
+		return false
+	}
+	t.next[k] += t.every[k]
+	return true
 }
 
 // Decision records a repartitioning evaluation. The limit/counter slices
@@ -163,15 +195,54 @@ func (t *Tracer) Decision(ev DecisionEvent) {
 
 // Block records a block-movement event of the given kind, subject to the
 // kind's sampling rate. ev.Type and ev.Run are overwritten from k and the
-// tracer's run label. Callers on hot paths should guard the call with a
-// nil check of their own so ev is not constructed when tracing is off.
+// tracer's run label. Hot paths that want to skip even the event
+// construction call ShouldEmit first and EmitBlock only on true; Block
+// remains the convenient combined form.
 func (t *Tracer) Block(k Kind, ev BlockEvent) {
-	if t == nil || !t.ShouldEmit(k) {
+	if !t.ShouldEmit(k) {
 		return
 	}
-	ev.Type = k.String()
-	ev.Run = t.run
-	t.emit(k, ev)
+	t.EmitBlock(k, ev)
+}
+
+// EmitBlock renders ev unconditionally (no sampling decision — pair it
+// with ShouldEmit) using a hand-rolled encoder that produces bytes
+// identical to encoding/json over BlockEvent, without reflection and
+// without allocating: the per-kind prologue is precomputed, numbers are
+// appended with strconv, and the scratch buffer is reused across calls.
+// TestEmitBlockMatchesEncodingJSON pins the byte identity.
+func (t *Tracer) EmitBlock(k Kind, ev BlockEvent) {
+	if t == nil || t.err != nil {
+		return
+	}
+	b := append(t.scratch[:0], t.prefix[k]...)
+	b = append(b, `,"cycle":`...)
+	b = strconv.AppendUint(b, ev.Cycle, 10)
+	b = append(b, `,"core":`...)
+	b = strconv.AppendInt(b, int64(ev.Core), 10)
+	b = append(b, `,"owner":`...)
+	b = strconv.AppendInt(b, int64(ev.Owner), 10)
+	b = append(b, `,"set":`...)
+	b = strconv.AppendInt(b, int64(ev.Set), 10)
+	b = append(b, `,"tag":`...)
+	b = strconv.AppendUint(b, ev.Tag, 10)
+	b = append(b, `,"depth":`...)
+	b = strconv.AppendInt(b, int64(ev.Depth), 10)
+	b = append(b, `,"home":`...)
+	b = strconv.AppendInt(b, int64(ev.Home), 10)
+	if ev.Dirty {
+		b = append(b, `,"dirty":true`...)
+	}
+	if ev.OverLimit {
+		b = append(b, `,"over_limit":true`...)
+	}
+	b = append(b, '}', '\n')
+	t.scratch = b
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.written[k]++
 }
 
 func (t *Tracer) emit(k Kind, ev any) {

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestEmitBlockMatchesEncodingJSON pins the hand-rolled block encoder
+// byte for byte against encoding/json, across run labels that need HTML
+// and quote escaping, both omitempty booleans, and extreme numbers. Any
+// divergence would silently invalidate golden traces and replay.
+func TestEmitBlockMatchesEncodingJSON(t *testing.T) {
+	runs := []string{"", "run1", `we<ird> & "quoted"`, "日本\t\n"}
+	events := []BlockEvent{
+		{},
+		{Cycle: 12345, Core: 3, Owner: 1, Set: 4095, Tag: 0xdeadbeef, Depth: 7, Home: 2},
+		{Cycle: math.MaxUint64, Core: -1, Owner: -2, Set: -3, Tag: math.MaxUint64, Depth: -4, Home: -5},
+		{Cycle: 1, Dirty: true},
+		{Cycle: 2, OverLimit: true},
+		{Cycle: 3, Dirty: true, OverLimit: true},
+	}
+	for _, run := range runs {
+		var got, want bytes.Buffer
+		tr := NewTracer(&got, run, map[Kind]uint64{})
+		ref := json.NewEncoder(&want)
+		for _, k := range Kinds() {
+			if k == KindRepartition {
+				continue
+			}
+			for _, ev := range events {
+				tr.EmitBlock(k, ev)
+				ev.Type = k.String()
+				ev.Run = run
+				if err := ref.Encode(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			gl := bytes.Split(got.Bytes(), []byte("\n"))
+			wl := bytes.Split(want.Bytes(), []byte("\n"))
+			for i := range gl {
+				if i >= len(wl) || !bytes.Equal(gl[i], wl[i]) {
+					t.Fatalf("run %q line %d:\n got %s\nwant %s", run, i, gl[i], wl[i])
+				}
+			}
+			t.Fatalf("run %q: trailing divergence", run)
+		}
+	}
+}
+
+// TestShouldEmitStride checks the next-emission counters agree with the
+// modulo definition ((seen-1) % every == 0) for awkward strides.
+func TestShouldEmitStride(t *testing.T) {
+	for _, every := range []uint64{1, 2, 3, 16, 17, 1000} {
+		tr := NewTracer(&bytes.Buffer{}, "", map[Kind]uint64{KindHit: every})
+		for i := uint64(0); i < 3*every+2; i++ {
+			want := i%every == 0
+			if got := tr.ShouldEmit(KindHit); got != want {
+				t.Fatalf("every=%d occurrence %d: ShouldEmit=%v, want %v", every, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTracerRestoreResumesCadence interrupts a sampled stream at every
+// possible point and checks that a restored tracer emits exactly the
+// events the uninterrupted tracer would have — the property that keeps
+// resumed runs' traces byte-identical.
+func TestTracerRestoreResumesCadence(t *testing.T) {
+	const every, total = 4, 13
+	event := func(i int) BlockEvent { return BlockEvent{Cycle: uint64(i), Core: i} }
+
+	var refBuf bytes.Buffer
+	ref := NewTracer(&refBuf, "r", map[Kind]uint64{KindDemote: every})
+	for i := 0; i < total; i++ {
+		ref.Block(KindDemote, event(i))
+	}
+	ref.Flush()
+
+	for cut := 0; cut <= total; cut++ {
+		var a, b bytes.Buffer
+		first := NewTracer(&a, "r", map[Kind]uint64{KindDemote: every})
+		for i := 0; i < cut; i++ {
+			first.Block(KindDemote, event(i))
+		}
+		first.Flush()
+		state := first.Snapshot()
+
+		second := NewTracer(&b, "r", map[Kind]uint64{KindDemote: every})
+		if err := second.Restore(state); err != nil {
+			t.Fatal(err)
+		}
+		for i := cut; i < total; i++ {
+			second.Block(KindDemote, event(i))
+		}
+		second.Flush()
+
+		combined := append(append([]byte(nil), a.Bytes()...), b.Bytes()...)
+		if !bytes.Equal(combined, refBuf.Bytes()) {
+			t.Fatalf("cut at %d: resumed trace diverged:\n%s--- want:\n%s", cut, combined, refBuf.Bytes())
+		}
+		if second.Seen(KindDemote) != uint64(total) {
+			t.Fatalf("cut at %d: seen=%d", cut, second.Seen(KindDemote))
+		}
+	}
+}

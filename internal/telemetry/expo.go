@@ -3,40 +3,134 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
 
-// WriteMetricsText renders counters and gauges in the Prometheus text
-// exposition format (one `# TYPE` line per metric, sorted by name, names
-// sanitized so registry dots become underscores). The maps are typically
-// Registry.Counters()/Registry.Gauges() snapshots merged with whatever
-// derived values the exporter wants to publish alongside them — the
-// nucaserve /metrics endpoint is the intended consumer.
-func WriteMetricsText(w io.Writer, counters map[string]uint64, gauges map[string]float64) error {
-	names := make([]string, 0, len(counters))
-	for name := range counters {
-		names = append(names, name)
+// MetricsSnapshot is one coherent view of everything an exporter wants
+// to publish: registry instruments plus whatever scrape-time values the
+// exporter derives on the spot. Both kinds render through the single
+// WriteMetrics path, so registry gauges and ad-hoc gauges can no longer
+// drift apart (they used to live in two differently-typed maps, and the
+// registry ones were silently dropped).
+type MetricsSnapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+	// Help optionally maps a metric's raw (pre-sanitization) name to its
+	// `# HELP` text; entries here override the package defaults in
+	// MetricHelp.
+	Help map[string]string
+}
+
+// Metrics snapshots the registry's counters, gauges and histograms into
+// one MetricsSnapshot; exporters add their scrape-time values on top and
+// hand the result to WriteMetrics.
+func (r *Registry) Metrics() MetricsSnapshot {
+	s := MetricsSnapshot{Counters: r.Counters()}
+	if r == nil {
+		return s
 	}
-	sort.Strings(names)
-	for _, name := range names {
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = float64(g.Value())
+		}
+	}
+	s.Histograms = r.Histograms()
+	return s
+}
+
+// MetricHelp is the default `# HELP` text for the instruments the
+// simulator and the job server register. Exporters may override or
+// extend it per snapshot via MetricsSnapshot.Help.
+var MetricHelp = map[string]string{
+	"adaptive.shared_swaps":        "Hits in the shared partition that swapped the block into the requester's private partition.",
+	"adaptive.neighbor_migrations": "Hits in a neighbor's private partition that migrated the block to the requester.",
+	"adaptive.demotions":           "Private-LRU blocks demoted into the shared partition.",
+	"adaptive.evictions":           "Shared-partition blocks evicted to memory by Algorithm 1.",
+	"dram.queue_delay":             "Cycles a demand read waited for the DRAM channel to become free.",
+	"hierarchy.load_latency":       "End-to-end data-load latency in cycles, from TLB access to data return.",
+	"serve.job_queue_wait_us":      "Microseconds a job waited in the queue before a worker picked it up.",
+	"serve.job_run_us":             "Microseconds a worker spent running a job's simulation.",
+	"serve.queue_depth":            "Jobs waiting in the queue right now.",
+	"serve.workers_busy":           "Workers currently running a job.",
+}
+
+// helpFor resolves the HELP text for a raw metric name: the snapshot's
+// override first, the package defaults next, and a generated fallback so
+// every family always carries a `# HELP`/`# TYPE` pair (the exposition
+// linter enforces the pairing).
+func (m MetricsSnapshot) helpFor(name, kind string) string {
+	if h, ok := m.Help[name]; ok {
+		return h
+	}
+	if h, ok := MetricHelp[name]; ok {
+		return h
+	}
+	return fmt.Sprintf("%s %s.", strings.ReplaceAll(name, ".", " "), kind)
+}
+
+// WriteMetrics renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name within each kind,
+// every family prefixed with `# HELP` and `# TYPE`, names sanitized so
+// registry dots become underscores. Histograms emit cumulative
+// `_bucket{le="..."}` series over the power-of-two bounds (empty buckets
+// elided, `+Inf` always present), then `_sum` and `_count`.
+func WriteMetrics(w io.Writer, m MetricsSnapshot) error {
+	for _, name := range sortedKeys(m.Counters) {
 		n := MetricName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			n, m.helpFor(name, "counter"), n, n, m.Counters[name]); err != nil {
 			return err
 		}
 	}
-	names = names[:0]
-	for name := range gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range sortedKeys(m.Gauges) {
 		n := MetricName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			n, m.helpFor(name, "gauge"), n, n, m.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.Histograms) {
+		h := m.Histograms[name]
+		n := MetricName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			n, m.helpFor(name, "histogram"), n); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Le == math.MaxUint64 {
+				continue // the unbounded bucket renders as +Inf below
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, h.Count, n, h.Sum, n, h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteMetricsText is the counters-and-gauges compatibility form of
+// WriteMetrics, kept for exporters that assemble their own maps.
+func WriteMetricsText(w io.Writer, counters map[string]uint64, gauges map[string]float64) error {
+	return WriteMetrics(w, MetricsSnapshot{Counters: counters, Gauges: gauges})
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // MetricName maps a registry instrument name ("adaptive.shared_swaps")

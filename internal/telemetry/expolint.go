@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-format (0.0.4) stream the
+// way promtool's lint does, scoped to what this repo emits: metric names
+// on the exposition alphabet, `# HELP` before `# TYPE` for every family,
+// exactly one TYPE per family, every sample belonging to a typed family,
+// and histogram series with monotone cumulative buckets, ascending `le`
+// bounds ending in `+Inf`, and `_count` equal to the `+Inf` bucket.
+// It returns every violation found, not just the first, so a broken
+// exporter is diagnosed in one pass.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	l := &expoLint{
+		help:  map[string]bool{},
+		typed: map[string]string{},
+		hists: map[string]*histSeries{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if err := l.line(line, text); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return append(errs, err)
+	}
+	if line == 0 {
+		return append(errs, fmt.Errorf("exposition is empty"))
+	}
+	errs = append(errs, l.finish()...)
+	return errs
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// sampleRE splits a sample line into name, optional label set, and value.
+var sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+
+var leLabelRE = regexp.MustCompile(`^\{le="([^"]*)"\}$`)
+
+type histSeries struct {
+	lastLe    float64
+	lastCum   uint64
+	infSeen   bool
+	infValue  uint64
+	sumSeen   bool
+	countSeen bool
+	count     uint64
+	buckets   int
+}
+
+type expoLint struct {
+	help  map[string]bool
+	typed map[string]string // family → type
+	hists map[string]*histSeries
+}
+
+func (l *expoLint) line(n int, text string) error {
+	if strings.HasPrefix(text, "# HELP ") {
+		rest := strings.TrimPrefix(text, "# HELP ")
+		name, _, _ := strings.Cut(rest, " ")
+		if !metricNameRE.MatchString(name) {
+			return fmt.Errorf("line %d: HELP names invalid metric %q", n, name)
+		}
+		if _, ok := l.typed[name]; ok {
+			return fmt.Errorf("line %d: HELP for %q after its TYPE", n, name)
+		}
+		l.help[name] = true
+		return nil
+	}
+	if strings.HasPrefix(text, "# TYPE ") {
+		fields := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+		if len(fields) != 2 {
+			return fmt.Errorf("line %d: malformed TYPE line %q", n, text)
+		}
+		name, kind := fields[0], fields[1]
+		if !metricNameRE.MatchString(name) {
+			return fmt.Errorf("line %d: TYPE names invalid metric %q", n, name)
+		}
+		if kind != "counter" && kind != "gauge" && kind != "histogram" && kind != "summary" && kind != "untyped" {
+			return fmt.Errorf("line %d: unknown metric type %q for %q", n, kind, name)
+		}
+		if _, dup := l.typed[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %q", n, name)
+		}
+		if !l.help[name] {
+			return fmt.Errorf("line %d: TYPE for %q has no preceding HELP", n, name)
+		}
+		l.typed[name] = kind
+		if kind == "histogram" {
+			l.hists[name] = &histSeries{lastLe: math.Inf(-1)}
+		}
+		return nil
+	}
+	if strings.HasPrefix(text, "#") {
+		return nil // free-form comment
+	}
+
+	m := sampleRE.FindStringSubmatch(text)
+	if m == nil {
+		return fmt.Errorf("line %d: malformed sample %q", n, text)
+	}
+	name, labels, value := m[1], m[2], m[3]
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		return fmt.Errorf("line %d: sample %s has non-numeric value %q", n, name, value)
+	}
+
+	// Histogram series samples attach to their family via suffix.
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		family := strings.TrimSuffix(name, suffix)
+		if family == name {
+			continue
+		}
+		if h, ok := l.hists[family]; ok && l.typed[family] == "histogram" {
+			return l.histSample(n, family, h, suffix, labels, value)
+		}
+	}
+	if kind, ok := l.typed[name]; !ok {
+		return fmt.Errorf("line %d: sample %q has no TYPE", n, name)
+	} else if kind == "histogram" {
+		return fmt.Errorf("line %d: bare sample %q for histogram family", n, name)
+	}
+	if labels != "" {
+		return fmt.Errorf("line %d: unexpected labels %q on %s", n, labels, name)
+	}
+	return nil
+}
+
+func (l *expoLint) histSample(n int, family string, h *histSeries, suffix, labels, value string) error {
+	switch suffix {
+	case "_bucket":
+		lm := leLabelRE.FindStringSubmatch(labels)
+		if lm == nil {
+			return fmt.Errorf("line %d: %s_bucket needs exactly an le label, got %q", n, family, labels)
+		}
+		var le float64
+		if lm[1] == "+Inf" {
+			le = math.Inf(1)
+		} else {
+			var err error
+			if le, err = strconv.ParseFloat(lm[1], 64); err != nil {
+				return fmt.Errorf("line %d: %s_bucket has bad le %q", n, family, lm[1])
+			}
+		}
+		cum, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: %s_bucket value %q not a count", n, family, value)
+		}
+		if le <= h.lastLe {
+			return fmt.Errorf("line %d: %s buckets out of order: le %g after %g", n, family, le, h.lastLe)
+		}
+		if cum < h.lastCum {
+			return fmt.Errorf("line %d: %s buckets not cumulative: %d after %d", n, family, cum, h.lastCum)
+		}
+		h.lastLe, h.lastCum = le, cum
+		h.buckets++
+		if math.IsInf(le, 1) {
+			h.infSeen, h.infValue = true, cum
+		}
+	case "_sum":
+		if labels != "" {
+			return fmt.Errorf("line %d: unexpected labels on %s_sum", n, family)
+		}
+		h.sumSeen = true
+	case "_count":
+		if labels != "" {
+			return fmt.Errorf("line %d: unexpected labels on %s_count", n, family)
+		}
+		c, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: %s_count value %q not a count", n, family, value)
+		}
+		h.countSeen, h.count = true, c
+	}
+	return nil
+}
+
+// finish runs the whole-family checks once every line has been seen.
+func (l *expoLint) finish() []error {
+	var errs []error
+	for family, h := range l.hists {
+		switch {
+		case h.buckets == 0:
+			errs = append(errs, fmt.Errorf("histogram %s has no buckets", family))
+		case !h.infSeen:
+			errs = append(errs, fmt.Errorf("histogram %s lacks the +Inf bucket", family))
+		}
+		if !h.sumSeen {
+			errs = append(errs, fmt.Errorf("histogram %s lacks _sum", family))
+		}
+		if !h.countSeen {
+			errs = append(errs, fmt.Errorf("histogram %s lacks _count", family))
+		} else if h.infSeen && h.count != h.infValue {
+			errs = append(errs, fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", family, h.count, h.infValue))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HistogramBuckets is the fixed bucket count of every Histogram. Buckets
+// are power-of-two latency ranges: bucket 0 holds the value 0, bucket i
+// (1 ≤ i < 31) holds [2^(i-1), 2^i-1], and the last bucket is unbounded
+// above (everything ≥ 2^30). Indexing is bits.Len64 of the value,
+// clamped — one instruction, no search, no float math on the hot path.
+const HistogramBuckets = 32
+
+// Histogram is a fixed-size power-of-two-bucket distribution of uint64
+// observations (latencies in cycles, durations in microseconds). The
+// record path allocates nothing and branches once; a nil *Histogram
+// no-ops, matching the package's nil-safe instrument convention. Like
+// Counter and Gauge it does not lock: the simulator is single-threaded,
+// and concurrent exporters must snapshot behind their own fence.
+type Histogram struct {
+	counts [HistogramBuckets]uint64
+	sum    uint64
+	count  uint64
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v uint64) int {
+	i := bits.Len64(v)
+	if i >= HistogramBuckets {
+		i = HistogramBuckets - 1
+	}
+	return i
+}
+
+// bucketBounds returns bucket i's inclusive value range. The unbounded
+// last bucket reports an upper bound of twice its lower bound minus one,
+// which keeps interpolation finite; exposition renders it as +Inf.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	return lo, lo<<1 - 1
+}
+
+// Observe records one value. Nil-safe; zero allocations.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Reset zeroes every bucket.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	*h = Histogram{}
+}
+
+// Merge folds o's observations into h. Bucket layouts are identical by
+// construction, so this is a plain vector add.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.sum += o.sum
+	h.count += o.count
+}
+
+// Subtract removes o's observations from h. The caller guarantees o is a
+// prior snapshot of h's contents (every bucket of o ≤ the same bucket of
+// h); epoch deltas in the adaptive engine are the intended use.
+func (h *Histogram) Subtract(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] -= o.counts[i]
+	}
+	h.sum -= o.sum
+	h.count -= o.count
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) estimated by linear
+// interpolation inside the bucket holding the target rank. With
+// power-of-two buckets the estimate's relative error is bounded by the
+// bucket width — good enough to see the local/remote/DRAM modes the
+// partitioning scheme manipulates.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - cum) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += float64(c)
+	}
+	_, hi := bucketBounds(HistogramBuckets - 1)
+	return float64(hi)
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot: its inclusive
+// upper bound and its own (non-cumulative) count. Le of math.MaxUint64
+// marks the unbounded last bucket (+Inf in exposition).
+type HistogramBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the exported view of a histogram: totals,
+// interpolated percentiles, and the non-empty buckets. It is what
+// sim.Result carries, what -json emits, and what nucaserve merges into
+// its own registry when a job completes.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// SnapshotView renders the histogram's current contents.
+func (h *Histogram) SnapshotView() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := uint64(math.MaxUint64)
+		if i < HistogramBuckets-1 {
+			_, le = bucketBounds(i)
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Le: le, Count: c})
+	}
+	return s
+}
+
+// AddSnapshot folds a snapshot's buckets back into the histogram. The
+// bucket layout is recovered from each Le (its bits.Len64 is the bucket
+// index), so snapshots that crossed a gob/JSON boundary — a finished
+// job's sim.Result arriving at the serve registry — merge exactly.
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	for _, b := range s.Buckets {
+		h.counts[bucketIndex(b.Le)] += b.Count
+	}
+	h.sum += s.Sum
+	h.count += s.Count
+}
+
+// HistogramState is the gob-serializable content of a Histogram, carried
+// inside checkpoint files so a resumed run's distributions continue
+// bit-identically.
+type HistogramState struct {
+	Counts []uint64
+	Sum    uint64
+	Count  uint64
+}
+
+// State captures the histogram for a checkpoint.
+func (h *Histogram) State() HistogramState {
+	if h == nil {
+		return HistogramState{}
+	}
+	return HistogramState{
+		Counts: append([]uint64(nil), h.counts[:]...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// RestoreState loads a checkpointed histogram. An empty state (no
+// buckets) resets the histogram, so zero-value states round-trip.
+func (h *Histogram) RestoreState(s HistogramState) error {
+	if h == nil {
+		return nil
+	}
+	if len(s.Counts) == 0 {
+		*h = Histogram{sum: s.Sum, count: s.Count}
+		return nil
+	}
+	if len(s.Counts) != HistogramBuckets {
+		return fmt.Errorf("telemetry: histogram state has %d buckets, want %d", len(s.Counts), HistogramBuckets)
+	}
+	copy(h.counts[:], s.Counts)
+	h.sum = s.Sum
+	h.count = s.Count
+	return nil
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 29, 30}, {1<<30 - 1, 30}, {1 << 30, 31}, {math.MaxUint64, 31},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Bounds are inclusive and contiguous: hi(i)+1 == lo(i+1).
+	for i := 0; i < HistogramBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi+1 != lo {
+			t.Errorf("bucket %d hi %d not adjacent to bucket %d lo %d", i, hi, i+1, lo)
+		}
+	}
+	var h Histogram
+	for _, c := range cases {
+		h.Observe(c.v)
+		lo, hi := bucketBounds(c.bucket)
+		if c.bucket < HistogramBuckets-1 && (c.v < lo || c.v > hi) {
+			t.Errorf("value %d outside its bucket %d range [%d,%d]", c.v, c.bucket, lo, hi)
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	// 100 observations of exactly 10: every quantile lands inside
+	// bucket 4 ([8,15]).
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < 8 || got > 15 {
+			t.Errorf("q%g = %g, want within [8,15]", q, got)
+		}
+	}
+	// Bimodal local/DRAM shape: 90 cheap hits at 14, 10 misses at 300.
+	var bi Histogram
+	for i := 0; i < 90; i++ {
+		bi.Observe(14)
+	}
+	for i := 0; i < 10; i++ {
+		bi.Observe(300)
+	}
+	if p50 := bi.Quantile(0.5); p50 < 8 || p50 > 15 {
+		t.Errorf("p50 = %g, want in the hit bucket [8,15]", p50)
+	}
+	if p99 := bi.Quantile(0.99); p99 < 256 || p99 > 511 {
+		t.Errorf("p99 = %g, want in the miss bucket [256,511]", p99)
+	}
+	if bi.Sum() != 90*14+10*300 {
+		t.Errorf("sum = %d", bi.Sum())
+	}
+}
+
+func TestHistogramMergeSubtract(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(0); i < 50; i++ {
+		a.Observe(i)
+		b.Observe(i * 3)
+	}
+	var m Histogram
+	m.Merge(&a)
+	m.Merge(&b)
+	if m.Count() != 100 || m.Sum() != a.Sum()+b.Sum() {
+		t.Fatalf("merge count=%d sum=%d", m.Count(), m.Sum())
+	}
+	m.Subtract(&b)
+	if m != a {
+		t.Fatal("merge+subtract did not round-trip")
+	}
+	// Nil receivers and operands no-op.
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.Merge(&a)
+	a.Merge(nilH)
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 || a.Count() != 50 {
+		t.Fatal("nil histogram not inert")
+	}
+}
+
+func TestHistogramSnapshotView(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(math.MaxUint64)
+	s := h.SnapshotView()
+	if s.Count != 4 || len(s.Buckets) != 3 {
+		t.Fatalf("snapshot count=%d buckets=%d, want 4/3", s.Count, len(s.Buckets))
+	}
+	if s.Buckets[0].Le != 0 || s.Buckets[0].Count != 1 {
+		t.Fatalf("bucket 0 = %+v", s.Buckets[0])
+	}
+	if s.Buckets[1].Le != 7 || s.Buckets[1].Count != 2 {
+		t.Fatalf("value-5 bucket = %+v, want le=7 count=2", s.Buckets[1])
+	}
+	if s.Buckets[2].Le != math.MaxUint64 || s.Buckets[2].Count != 1 {
+		t.Fatalf("overflow bucket = %+v", s.Buckets[2])
+	}
+
+	// AddSnapshot rebuilds the same distribution from the exported form.
+	var back Histogram
+	back.AddSnapshot(s)
+	if back != h {
+		t.Fatal("AddSnapshot(SnapshotView()) did not round-trip")
+	}
+}
+
+// TestHistogramStateGobRoundTrip pins the checkpoint path: a histogram's
+// state survives gob encode/decode (the checkpoint file format) and
+// restores bit-identically, including through a Registry snapshot.
+func TestHistogramStateGobRoundTrip(t *testing.T) {
+	var r Registry
+	h := r.Histogram("llc.c0.latency.local_hit")
+	for i := uint64(0); i < 1000; i += 7 {
+		h.Observe(i)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded RegistryState
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	var r2 Registry
+	h2 := r2.Histogram("llc.c0.latency.local_hit") // attach before restore
+	if err := r2.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if *h2 != *h {
+		t.Fatal("histogram diverged across gob round-trip")
+	}
+	if r2.Histogram("llc.c0.latency.local_hit") != h2 {
+		t.Fatal("restore replaced the registered pointer")
+	}
+
+	// Malformed state is rejected, empty state resets.
+	if err := h2.RestoreState(HistogramState{Counts: make([]uint64, 3)}); err == nil {
+		t.Fatal("short bucket vector restored without error")
+	}
+	if err := h2.RestoreState(HistogramState{}); err != nil || h2.Count() != 0 {
+		t.Fatalf("empty state should reset: err=%v count=%d", err, h2.Count())
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingConcurrentAppendSince hammers the locking discipline the job
+// server uses around the epoch ring: the simulation goroutine appends
+// (via the OnEpoch hook) while NDJSON streamers drain Since — both under
+// one mutex, because the Ring itself deliberately does not lock. Run
+// under -race (make race does) this pins that the documented discipline
+// is actually sufficient: the detector fires if any access slips out
+// from under the lock.
+func TestRingConcurrentAppendSince(t *testing.T) {
+	const (
+		producers = 1 // the sim goroutine is single; mirror that
+		consumers = 4
+		epochs    = 2000
+	)
+	r := NewRing(256)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= epochs; i++ {
+				mu.Lock()
+				r.Append(EpochSample{Eval: i, Cycle: i * 1000, Limits: []int{3, 3, 3, 3}})
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wg.Add(consumers)
+	for c := 0; c < consumers; c++ {
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for last < epochs {
+				mu.Lock()
+				batch := r.Since(last)
+				dropped := r.Dropped()
+				mu.Unlock()
+				_ = dropped
+				for i, s := range batch {
+					if s.Eval <= last {
+						t.Errorf("Since(%d) returned stale eval %d at index %d", last, s.Eval, i)
+						return
+					}
+					last = s.Eval
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Len(); got != 256 {
+		t.Fatalf("ring len = %d, want full capacity 256", got)
+	}
+}

@@ -41,21 +41,31 @@ func (r *Ring) Restore(s RingState) error {
 
 // RegistryState is the serializable content of a Registry.
 type RegistryState struct {
-	Counters map[string]uint64
-	Gauges   map[string]int64
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramState
 }
 
 // Snapshot captures every registered instrument's value.
 func (r *Registry) Snapshot() RegistryState {
-	return RegistryState{Counters: r.Counters(), Gauges: r.Gauges()}
+	s := RegistryState{Counters: r.Counters(), Gauges: r.Gauges()}
+	if r != nil && len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramState, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.State()
+		}
+	}
+	return s
 }
 
 // Restore sets each named instrument to its saved value, registering
 // any that do not exist yet. Instruments absent from the snapshot keep
-// their current values.
-func (r *Registry) Restore(s RegistryState) {
+// their current values. Histograms restore into the pointers already
+// handed out, so observers attached before the restore keep observing
+// the right distributions afterwards.
+func (r *Registry) Restore(s RegistryState) error {
 	if r == nil {
-		return
+		return nil
 	}
 	for name, v := range s.Counters {
 		r.Counter(name).v = v
@@ -63,6 +73,12 @@ func (r *Registry) Restore(s RegistryState) {
 	for name, v := range s.Gauges {
 		r.Gauge(name).v = v
 	}
+	for name, hs := range s.Histograms {
+		if err := r.Histogram(name).RestoreState(hs); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // TracerState carries the per-kind sampling strides so a resumed run's
@@ -85,7 +101,9 @@ func (t *Tracer) Snapshot() TracerState {
 	}
 }
 
-// Restore loads stride counters saved by Snapshot.
+// Restore loads stride counters saved by Snapshot and recomputes each
+// kind's next-emission point, so the resumed tracer continues the exact
+// sampling cadence of the interrupted run.
 func (t *Tracer) Restore(s TracerState) error {
 	if t == nil {
 		return nil
@@ -95,6 +113,13 @@ func (t *Tracer) Restore(s TracerState) error {
 	}
 	copy(t.seen[:], s.Seen)
 	copy(t.written[:], s.Written)
+	for k := range t.seen {
+		if seen, every := t.seen[k], t.every[k]; seen == 0 {
+			t.next[k] = 1
+		} else {
+			t.next[k] = ((seen-1)/every+1)*every + 1
+		}
+	}
 	return nil
 }
 
@@ -128,7 +153,9 @@ func (t *Telemetry) Restore(s State) error {
 	if err := t.Epochs.Restore(s.Ring); err != nil {
 		return err
 	}
-	t.Registry.Restore(s.Registry)
+	if err := t.Registry.Restore(s.Registry); err != nil {
+		return err
+	}
 	if t.Trace != nil && len(s.Tracer.Seen) > 0 {
 		if err := t.Trace.Restore(s.Tracer); err != nil {
 			return err

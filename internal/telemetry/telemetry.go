@@ -200,8 +200,9 @@ func (g *Gauge) Value() int64 {
 // pointers are then free of allocation and lookup on the hot path. The
 // zero value is ready to use; a nil *Registry hands out nil instruments.
 type Registry struct {
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // Counter returns the counter registered under name, creating it on
@@ -238,6 +239,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h := &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
 // Counters snapshots every registered counter, keyed by name.
 func (r *Registry) Counters() map[string]uint64 {
 	if r == nil {
@@ -258,6 +276,18 @@ func (r *Registry) Gauges() map[string]int64 {
 	out := make(map[string]int64, len(r.gauges))
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	return out
+}
+
+// Histograms snapshots every registered histogram, keyed by name.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	if r == nil || len(r.histograms) == 0 {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h.SnapshotView()
 	}
 	return out
 }

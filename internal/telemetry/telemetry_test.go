@@ -257,7 +257,7 @@ func TestWriteEpochCSV(t *testing.T) {
 	if len(rows) != 3 {
 		t.Fatalf("CSV has %d rows, want header + 2", len(rows))
 	}
-	wantCols := 15 + 6*4 // fixed columns (incl. since_limit_change) + 6 per-core groups
+	wantCols := 18 + 6*4 // fixed columns (incl. since_limit_change, lat percentiles) + 6 per-core groups
 	if len(rows[0]) != wantCols || len(rows[1]) != wantCols {
 		t.Fatalf("CSV has %d cols, want %d", len(rows[0]), wantCols)
 	}

@@ -15,7 +15,11 @@
 // (catching a silently skipped or renamed benchmark); it may be repeated
 // as a comma-separated list. -assert-zero-allocs fails if any matching
 // benchmark reports allocs/op > 0 — the steady-state access-path
-// guarantee the flat-arena engine makes.
+// guarantee the flat-arena engine makes. -max-ratio takes
+// "Numerator/Denominator=limit" entries and fails if the ns/op ratio of
+// the two named benchmarks exceeds the limit — the telemetry-tax gate
+// (instrumented access path ≤ 2× bare). Measured ratios are recorded in
+// the JSON output either way.
 package main
 
 import (
@@ -51,6 +55,9 @@ type Record struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Ratios records every -max-ratio measurement, keyed
+	// "Numerator/Denominator", whether or not it passed.
+	Ratios map[string]float64 `json:"ratios,omitempty"`
 }
 
 // accum collects the per-run samples of one benchmark name.
@@ -67,6 +74,7 @@ func main() {
 	out := flag.String("out", "", "JSON file to write ('' = stdout)")
 	require := flag.String("require", "", "comma-separated benchmark name prefixes that must be present")
 	assertZero := flag.String("assert-zero-allocs", "", "comma-separated benchmark name prefixes that must report 0 allocs/op")
+	maxRatio := flag.String("max-ratio", "", "comma-separated Numerator/Denominator=limit ns/op ratio gates")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -103,6 +111,17 @@ func main() {
 		if !matched {
 			failures = append(failures, fmt.Sprintf("assert-zero-allocs: no benchmark matches %q", name))
 		}
+	}
+	for _, spec := range splitList(*maxRatio) {
+		key, ratio, err := checkRatio(rec.Benchmarks, spec)
+		if err != nil {
+			failures = append(failures, err.Error())
+			continue
+		}
+		if rec.Ratios == nil {
+			rec.Ratios = map[string]float64{}
+		}
+		rec.Ratios[key] = ratio
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -221,6 +240,48 @@ func parse(r io.Reader) (Record, error) {
 		rec.Benchmarks = append(rec.Benchmarks, b)
 	}
 	return rec, nil
+}
+
+// checkRatio evaluates one "Numerator/Denominator=limit" gate against the
+// parsed benchmarks and returns the key and measured ns/op ratio. A
+// missing benchmark, an unparsable spec, or a ratio above the limit is an
+// error.
+func checkRatio(bs []Benchmark, spec string) (key string, ratio float64, err error) {
+	names, limitStr, ok := strings.Cut(spec, "=")
+	num, den, ok2 := strings.Cut(names, "/")
+	if !ok || !ok2 {
+		return "", 0, fmt.Errorf("max-ratio: bad spec %q, want Numerator/Denominator=limit", spec)
+	}
+	limit, err := strconv.ParseFloat(limitStr, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("max-ratio: bad limit in %q: %v", spec, err)
+	}
+	lookup := func(name string) (Benchmark, error) {
+		for _, b := range bs {
+			if b.Name == name {
+				return b, nil
+			}
+		}
+		return Benchmark{}, fmt.Errorf("max-ratio: benchmark %q not found in input", name)
+	}
+	nb, err := lookup(num)
+	if err != nil {
+		return "", 0, err
+	}
+	db, err := lookup(den)
+	if err != nil {
+		return "", 0, err
+	}
+	if db.NsPerOp <= 0 {
+		return "", 0, fmt.Errorf("max-ratio: %s reports %g ns/op, cannot form a ratio", den, db.NsPerOp)
+	}
+	key = num + "/" + den
+	ratio = nb.NsPerOp / db.NsPerOp
+	if ratio > limit {
+		return "", 0, fmt.Errorf("max-ratio: %s = %.2f ns/op / %.2f ns/op = %.2fx, limit %gx",
+			key, nb.NsPerOp, db.NsPerOp, ratio, limit)
+	}
+	return key, ratio, nil
 }
 
 // stripProcSuffix removes the -GOMAXPROCS suffix go test appends.

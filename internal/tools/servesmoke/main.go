@@ -7,7 +7,11 @@
 //  2. a server restart answers the same submission from the
 //     content-addressed cache, byte-for-byte, without simulating;
 //
-// and that SIGTERM produces a clean (exit 0) drain both times.
+// and that SIGTERM produces a clean (exit 0) drain both times. The
+// round-1 /metrics scrape (after the job completes, so the simulation
+// histograms have been merged in) must carry the Prometheus text
+// Content-Type, pass the exposition linter, and expose at least three
+// histogram families.
 //
 //	servesmoke -bin /tmp/nucaserve
 package main
@@ -25,6 +29,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"nucasim/internal/telemetry"
 )
 
 const jobSpec = `{
@@ -61,6 +67,10 @@ func main() {
 	if csv := get(base+"/v1/jobs/"+id+"/result?artifact=epochs", http.StatusOK); !strings.HasPrefix(string(csv), "eval,") {
 		fatal(fmt.Errorf("epoch artifact does not look like the epoch CSV"))
 	}
+	// Round 1 is the only valid scrape point for the histogram checks:
+	// the round-2 process answers from the cache and never merges
+	// simulation histograms into its registry.
+	checkMetrics(base)
 	stopServer()
 
 	// Round 2: warm cache, fresh process. The same submission must be
@@ -173,6 +183,38 @@ func awaitState(base, id, want string) {
 		time.Sleep(25 * time.Millisecond)
 	}
 	fatal(fmt.Errorf("job never reached state %q", want))
+}
+
+// checkMetrics scrapes /metrics after a completed job and asserts the
+// exposition is consumable by a real Prometheus scraper: correct
+// Content-Type, lint-clean text format, and the merged simulation
+// histograms actually present.
+func checkMetrics(base string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET /metrics: HTTP %d, want 200", resp.StatusCode))
+	}
+	ct := resp.Header.Get("Content-Type")
+	if !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		fatal(fmt.Errorf("/metrics Content-Type = %q, want text/plain; version=0.0.4", ct))
+	}
+	if errs := telemetry.LintExposition(bytes.NewReader(body)); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "servesmoke: lint:", e)
+		}
+		fatal(fmt.Errorf("/metrics fails exposition lint (%d problems)", len(errs)))
+	}
+	if n := strings.Count(string(body), " histogram\n"); n < 3 {
+		fatal(fmt.Errorf("/metrics exposes %d histogram families, want >= 3:\n%s", n, body))
+	}
 }
 
 func get(url string, wantCode int) []byte {
