@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-serve smoke serve-smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke bench-serve smoke span-smoke serve-smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke ci clean
 
 all: build
 
@@ -22,16 +22,17 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark the core engine paths (the adaptive access path with and
-# without telemetry, plus the end-to-end Table 1 run). The text output is
-# benchstat-compatible; benchjson folds the same stream into the
-# machine-readable BENCH_core.json benchmark record, asserting both
-# access paths stay allocation-free and the telemetry tax stays <= 2x.
+# without telemetry, the end-to-end Table 1 run, and the wall-clock span
+# hot path enabled/disabled). The text output is benchstat-compatible;
+# benchjson folds the same stream into the machine-readable
+# BENCH_core.json benchmark record, asserting the access and span paths
+# stay allocation-free and the telemetry tax stays <= 2x.
 bench: build
-	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveAccess|BenchmarkTable1$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveAccess|BenchmarkTable1$$|BenchmarkSpanStartEnd' \
 		-benchmem -count=5 . | tee /tmp/nucasim-bench.txt
 	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench.txt -out BENCH_core.json \
-		-require BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry,BenchmarkTable1 \
-		-assert-zero-allocs BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry \
+		-require BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry,BenchmarkTable1,BenchmarkSpanStartEnd,BenchmarkSpanStartEndDisabled \
+		-assert-zero-allocs BenchmarkAdaptiveAccess,BenchmarkAdaptiveAccessTelemetry,BenchmarkSpanStartEnd,BenchmarkSpanStartEndDisabled \
 		-max-ratio BenchmarkAdaptiveAccessTelemetry/BenchmarkAdaptiveAccess=2.0
 	@echo "bench record written to BENCH_core.json"
 
@@ -58,6 +59,24 @@ smoke: build
 	$(GO) run ./internal/tools/artifactcheck \
 		-metrics /tmp/nucasim-smoke.csv -trace /tmp/nucasim-smoke.jsonl
 	@echo smoke ok
+
+# Smoke-test the wall-clock span pipeline: a short adaptive run with
+# -span-out must emit a schema-valid Perfetto-loadable trace containing
+# every expected phase span, and the spans-disabled hot path (what every
+# untraced run pays at each phase boundary) must stay allocation-free.
+span-smoke: build
+	$(GO) run ./cmd/nucasim -scheme adaptive -cycles 100000 \
+		-metrics-out /tmp/nucasim-span-smoke.csv -trace-out /tmp/nucasim-span-smoke.jsonl \
+		-span-out /tmp/nucasim-spans.json > /tmp/nucasim-span-smoke.txt
+	$(GO) run ./internal/tools/artifactcheck -spans /tmp/nucasim-spans.json \
+		-spans-require nucasim,sim.run,sim.warmup_functional,sim.warmup_segment,sim.warmup_cycles,sim.warmup_chunk,sim.measure,sim.measure_chunk,adaptive.repartition,artifact.epoch_csv,artifact.trace_commit
+	$(GO) test -run '^$$' -bench 'BenchmarkSpanStartEnd' -benchmem \
+		-benchtime=200000x -count=3 . | tee /tmp/nucasim-span-bench.txt
+	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-span-bench.txt \
+		-out /tmp/nucasim-span-bench.json \
+		-require BenchmarkSpanStartEnd,BenchmarkSpanStartEndDisabled \
+		-assert-zero-allocs BenchmarkSpanStartEnd,BenchmarkSpanStartEndDisabled
+	@echo span-smoke ok
 
 # Cross-check trace-reconstructed cache state against the live cache at
 # every repartition epoch of a pinned mixed-app run (see cmd/nucadbg and
@@ -117,8 +136,10 @@ fuzz-smoke: build
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/trace/
 
-ci: vet build race smoke serve-smoke replay-verify golden-check fault-coverage bench-smoke resume-smoke fuzz-smoke
+ci: vet build race smoke span-smoke serve-smoke replay-verify golden-check fault-coverage bench-smoke resume-smoke fuzz-smoke
 
 clean:
 	rm -f /tmp/nucasim-smoke.csv /tmp/nucasim-smoke.jsonl /tmp/nucasim-smoke.txt
+	rm -f /tmp/nucasim-spans.json /tmp/nucasim-span-smoke.txt /tmp/nucasim-span-smoke.csv
+	rm -f /tmp/nucasim-span-smoke.jsonl /tmp/nucasim-span-bench.txt /tmp/nucasim-span-bench.json
 	rm -rf /tmp/nucasim-golden

@@ -388,3 +388,31 @@ func BenchmarkFunctionalWarmup(b *testing.B) {
 		m.WarmFunctional(100_000)
 	}
 }
+
+// BenchmarkSpanStartEnd measures the enabled wall-clock span hot path:
+// one StartSpan/SetDetail/End round trip into the preallocated flight
+// recorder. The value handle and fixed ring keep this allocation-free.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	rec := telemetry.NewSpanRecorder(telemetry.SpanConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan("bench.phase", 0)
+		sp.SetDetail(uint64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkSpanStartEndDisabled measures the same call sequence with
+// spans off (nil recorder) — the cost every phase boundary pays in a
+// run without -span-out. CI asserts 0 allocs/op on this path.
+func BenchmarkSpanStartEndDisabled(b *testing.B) {
+	var rec *telemetry.SpanRecorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan("bench.phase", 0)
+		sp.SetDetail(uint64(i))
+		sp.End()
+	}
+}

@@ -9,6 +9,9 @@
 //	-json              emit each table as one JSON object per line instead of text
 //	-metrics-out f.csv append every table as CSV (titles on "# " comment lines)
 //	-trace-out f.jsonl stream all adaptive runs' sharing-engine events (JSONL)
+//	-span-out f.json   write a Perfetto-loadable trace of wall-clock spans,
+//	                   one "experiment.<name>" span per subcommand with the
+//	                   adaptive runs' simulation phases nested beneath
 //	-cpuprofile f      write a pprof CPU profile of the whole invocation
 //	-memprofile f      write a pprof heap profile at exit
 //
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -81,9 +85,11 @@ func main() {
 	flag.Uint64Var(&opt.MeasureCycles, "cycles", 0, "measured cycles (default 6e5; paper: 2e8)")
 	flag.BoolVar(&opt.CheckInvariants, "check-invariants", false, "verify adaptive-scheme structural invariants at every repartition epoch (aborts on violation)")
 	common := cliflags.Register(flag.CommandLine, cliflags.Spec{
+		Command:      "experiments",
 		JSONUsage:    "emit tables as JSON Lines instead of text",
 		MetricsUsage: "append every table as CSV to this file",
 		TraceUsage:   "stream adaptive runs' sharing-engine events (JSONL) to this file",
+		SpanUsage:    "write wall-clock phase spans as Chrome trace-event JSON (Perfetto-loadable) to this file",
 		Profiles:     true,
 	})
 	flag.Parse()
@@ -110,11 +116,11 @@ func main() {
 	for _, w := range which {
 		if w == "all" {
 			for _, x := range []string{"table1", "cost", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sampling", "anecdote", "scaling", "parallel"} {
-				timed(x, opt, out)
+				timed(x, opt, out, session)
 			}
 			continue
 		}
-		timed(w, opt, out)
+		timed(w, opt, out, session)
 	}
 
 	if err := session.Close(true); err != nil {
@@ -122,12 +128,21 @@ func main() {
 	}
 }
 
-// timed runs one experiment and reports its wall-clock and simulated
-// throughput on stderr.
-func timed(which string, opt experiment.Options, out *output) {
+// timed runs one experiment under an "experiment.<name>" span (the
+// adaptive runs' simulation phases nest beneath it) and a pprof phase
+// label, and reports its wall-clock and simulated throughput on stderr.
+func timed(which string, opt experiment.Options, out *output, session *cliflags.Session) {
 	start := time.Now()
 	cyclesBefore := sim.CyclesSimulated()
-	run(which, opt, out)
+	sp := session.StartSpan("experiment." + which)
+	if session.Spans != nil {
+		opt.Spans = session.Spans
+		opt.SpanParent = sp.ID()
+	}
+	telemetry.WithPhase(context.Background(), which, func(context.Context) {
+		run(which, opt, out)
+	})
+	sp.End()
 	tp := telemetry.Throughput{
 		Wall:      time.Since(start),
 		SimCycles: sim.CyclesSimulated() - cyclesBefore,

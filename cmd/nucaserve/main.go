@@ -9,7 +9,13 @@
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events
 // (NDJSON), GET /v1/jobs/{id}/result[?artifact=epochs],
+// GET /v1/jobs/{id}/spans (Perfetto-loadable wall-clock span trace),
 // DELETE /v1/jobs/{id}, /healthz, /readyz, /metrics.
+//
+// -debug-addr starts a second listener serving /debug/pprof/* (profiles,
+// goroutine dumps, execution traces). It is a separate server on its own
+// address so the profiling surface is never exposed on the API port —
+// bind it to localhost.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,7 +44,8 @@ func main() {
 	state := flag.String("state", "", "state directory for the result cache and checkpoints (required)")
 	drain := flag.Duration("drain", 30*time.Second, "how long a shutdown lets running jobs finish before checkpointing them")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "periodic crash-safety checkpoint cadence in measured cycles (0 = simulator default)")
-	common := cliflags.Register(flag.CommandLine, cliflags.Spec{Profiles: true})
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof/* on this extra address (e.g. 127.0.0.1:6060); off when empty")
+	common := cliflags.Register(flag.CommandLine, cliflags.Spec{Command: "nucaserve", Profiles: true})
 	flag.Parse()
 
 	if *state == "" {
@@ -86,6 +94,28 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpServer.Serve(ln) }()
 
+	// Optional profiling listener, kept off the API mux deliberately: the
+	// pprof endpoints can dump memory and block the scheduler, so they
+	// only exist where -debug-addr points (normally localhost).
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			session.Close(false)
+			os.Exit(1)
+		}
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", httppprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		debugServer = &http.Server{Handler: debugMux}
+		fmt.Printf("nucaserve debug endpoints on http://%s/debug/pprof/\n", debugLn.Addr())
+		go debugServer.Serve(debugLn)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -109,6 +139,9 @@ func main() {
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	httpServer.Shutdown(httpCtx)
+	if debugServer != nil {
+		debugServer.Shutdown(httpCtx)
+	}
 	if err := session.Close(true); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

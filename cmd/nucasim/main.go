@@ -7,6 +7,9 @@
 //
 //	-metrics-out m.csv   epoch time-series (one row per repartition evaluation)
 //	-trace-out t.jsonl   JSONL event trace (decisions, swaps, demotions, evictions)
+//	-span-out s.json     wall-clock phase spans (warmup, measurement chunks,
+//	                     repartitions, checkpoint/artifact writes) as Chrome
+//	                     trace-event JSON — load in Perfetto or chrome://tracing
 //	-full-trace          lossless trace: every fill/hit/swap/migrate/demote/evict
 //	                     with tag and LRU depth — replayable by cmd/nucadbg
 //	-replay-verify       cross-check the trace against the live cache every epoch
@@ -59,9 +62,11 @@ func main() {
 	list := flag.Bool("list", false, "list available applications and exit")
 
 	common := cliflags.Register(flag.CommandLine, cliflags.Spec{
+		Command:      "nucasim",
 		JSONUsage:    "print the run summary as JSON instead of text",
 		MetricsUsage: "write the epoch time-series as CSV to this file",
 		TraceUsage:   "write the sharing-engine event trace as JSON Lines to this file",
+		SpanUsage:    "write wall-clock phase spans as Chrome trace-event JSON to this file (Perfetto-loadable)",
 		Profiles:     true,
 	})
 	traceSample := flag.Uint64("trace-sample", 16, "record 1 in N block events (swap/migrate/demote/evict); decisions are always recorded")
@@ -94,16 +99,40 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nucasim: -resume cannot re-attach -trace-out or -replay-verify; a resumed run keeps its epoch series and counters only")
 			os.Exit(2)
 		}
-		r, err := sim.ResumeContext(ctx, *resume)
+		session, err := common.Open(false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r, err := sim.ResumeContextTelemetry(ctx, *resume, func(c *telemetry.Config) bool {
+			if session.Spans == nil {
+				return false
+			}
+			c.Spans = session.Spans
+			c.SpanParent = session.Root.ID()
+			c.SampleRuntime = true
+			return true
+		})
 		if errors.Is(err, sim.ErrInterrupted) {
+			session.Close(false)
 			fmt.Fprintf(os.Stderr, "nucasim: interrupted again; checkpoint updated — continue with -resume %s\n", *resume)
 			os.Exit(3)
 		}
 		if err != nil {
+			session.Close(false)
 			fmt.Fprintln(os.Stderr, "nucasim:", err)
 			os.Exit(1)
 		}
-		report(r, common)
+		if err := writeEpochCSV(r, common, session); err != nil {
+			session.Close(false)
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := session.Close(true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		summarize(r, common)
 		return
 	}
 
@@ -155,7 +184,12 @@ func main() {
 	if session.Trace != nil {
 		telcfg.TraceWriter = session.Trace
 	}
-	if cfg.Scheme == sim.SchemeAdaptive || common.MetricsOut != "" || common.TraceOut != "" || common.JSON {
+	if session.Spans != nil {
+		telcfg.Spans = session.Spans
+		telcfg.SpanParent = session.Root.ID()
+		telcfg.SampleRuntime = true
+	}
+	if cfg.Scheme == sim.SchemeAdaptive || common.MetricsOut != "" || common.TraceOut != "" || common.SpanOut != "" || common.JSON {
 		cfg.Telemetry = &telcfg
 	}
 	cfg.CheckInvariants = *checkInv
@@ -183,6 +217,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The epoch CSV is written before the session closes so its
+	// artifact-write span lands in the -span-out trace.
+	if err := writeEpochCSV(r, common, session); err != nil {
+		session.Close(false)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	// Publish the trace before any verification exits: the run itself
 	// completed, so the artifact is whole and should survive.
 	if err := session.Close(true); err != nil {
@@ -198,12 +240,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nucasim: replay self-verify ok: %d epochs cross-checked\n", r.ReplayEpochsVerified)
 	}
 
-	report(r, common)
+	summarize(r, common)
 }
 
-// report emits the run's artifacts and summary; shared by fresh and
-// resumed runs.
-func report(r sim.Result, common *cliflags.Flags) {
+// writeEpochCSV publishes the -metrics-out epoch time-series (a no-op
+// without the flag), recorded as an artifact.epoch_csv span.
+func writeEpochCSV(r sim.Result, common *cliflags.Flags, session *cliflags.Session) error {
+	if common.MetricsOut == "" {
+		return nil
+	}
+	sp := session.StartSpan("artifact.epoch_csv")
+	defer sp.End()
+	return common.WriteMetricsFile(func(w io.Writer) error {
+		return telemetry.WriteEpochCSV(w, r.Epochs)
+	})
+}
+
+// summarize prints the run summary; shared by fresh and resumed runs.
+func summarize(r sim.Result, common *cliflags.Flags) {
 	// A truncated epoch series must not be mistaken for the whole run —
 	// e.g. when a CSV is about to become a regression baseline. The
 	// EpochsDropped field in -json output carries the same signal
@@ -212,14 +266,6 @@ func report(r sim.Result, common *cliflags.Flags) {
 		fmt.Fprintf(os.Stderr,
 			"nucasim: warning: epoch ring dropped %d of %d evaluations — the epoch CSV/series is truncated; rerun with -epoch-cap >= %d for a complete baseline\n",
 			r.EpochsDropped, r.Evaluations, r.Evaluations)
-	}
-
-	err := common.WriteMetricsFile(func(w io.Writer) error {
-		return telemetry.WriteEpochCSV(w, r.Epochs)
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	if common.JSON {

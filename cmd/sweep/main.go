@@ -7,9 +7,11 @@
 // Each sweep prints one table of harmonic-mean IPC (or misses) per point.
 // Observability flags mirror cmd/experiments: -json (table as JSON),
 // -metrics-out (table as CSV), -trace-out (JSONL sharing-engine events of
-// every adaptive run, labelled per sweep point), -cpuprofile/-memprofile
-// (pprof), and a wall-clock / simulated-cycles-per-second footer on
-// stderr.
+// every adaptive run, labelled per sweep point), -span-out (Perfetto-
+// loadable wall-clock spans, one "sweep.point <label>" span per design
+// point with the adaptive run's phases nested beneath),
+// -cpuprofile/-memprofile (pprof), and a wall-clock /
+// simulated-cycles-per-second footer on stderr.
 package main
 
 import (
@@ -38,9 +40,11 @@ func main() {
 	cycles := flag.Uint64("cycles", 600_000, "measured cycles")
 	flag.BoolVar(&checkInvariants, "check-invariants", false, "verify adaptive-scheme structural invariants at every repartition epoch (aborts on violation)")
 	common := cliflags.Register(flag.CommandLine, cliflags.Spec{
+		Command:      "sweep",
 		JSONUsage:    "emit the sweep table as JSON instead of text",
 		MetricsUsage: "write the sweep table as CSV to this file",
 		TraceUsage:   "stream adaptive runs' sharing-engine events (JSONL) to this file",
+		SpanUsage:    "write wall-clock phase spans as Chrome trace-event JSON (Perfetto-loadable) to this file",
 		Profiles:     true,
 	})
 	flag.Parse()
@@ -61,18 +65,20 @@ func main() {
 
 	var t *stats.Table
 	var footer string
+	sweepSpan := session.StartSpan("sweep." + *kind)
 	switch *kind {
 	case "capacity":
-		t = sweepCapacity(mixFrom(*apps), *seed, *warmup, *cycles, trace)
+		t = sweepCapacity(mixFrom(*apps), *seed, *warmup, *cycles, trace, session, sweepSpan.ID())
 	case "period":
-		t = sweepPeriod(mixFrom(*apps), *seed, *warmup, *cycles, trace)
+		t = sweepPeriod(mixFrom(*apps), *seed, *warmup, *cycles, trace, session, sweepSpan.ID())
 		footer = "(paper §2.1 uses 2000 misses: long enough to measure, short enough to adapt)"
 	case "ways":
-		t = sweepWays(*app, *seed)
+		t = sweepWays(*app, *seed, session, sweepSpan.ID())
 	default:
 		fmt.Fprintln(os.Stderr, "unknown sweep kind:", *kind)
 		os.Exit(2)
 	}
+	sweepSpan.End()
 
 	if common.JSON {
 		b, err := json.Marshal(t)
@@ -124,19 +130,22 @@ func mixFrom(csv string) []workload.AppParams {
 // sweep point's sim.Config.
 var checkInvariants bool
 
-// telemetryFor labels one sweep point's adaptive run in a shared trace.
-func telemetryFor(trace io.Writer, label string) *telemetry.Config {
-	if trace == nil {
+// telemetryFor labels one sweep point's adaptive run in a shared trace
+// and nests the run's phase spans under that point's span. Nil when no
+// observability sink wants the run.
+func telemetryFor(trace io.Writer, label string, spans *telemetry.SpanRecorder, parent telemetry.SpanID) *telemetry.Config {
+	if trace == nil && spans == nil {
 		return nil
 	}
-	return &telemetry.Config{Run: label, TraceWriter: trace}
+	return &telemetry.Config{Run: label, TraceWriter: trace, Spans: spans, SpanParent: parent}
 }
 
-func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer) *stats.Table {
+func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer, session *cliflags.Session, parent telemetry.SpanID) *stats.Table {
 	t := stats.NewTable("capacity sweep: harmonic IPC vs L3 bytes per core",
 		"private", "shared", "adaptive")
 	for _, kb := range []int{512, 1024, 2048, 4096} {
 		label := fmt.Sprintf("%d KB/core", kb)
+		sp := session.Spans.StartSpan("sweep.point "+label, parent)
 		row := make([]float64, 0, 3)
 		for _, s := range []sim.Scheme{sim.SchemePrivate, sim.SchemeShared, sim.SchemeAdaptive} {
 			cfg := sim.Config{
@@ -145,35 +154,38 @@ func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64, trace 
 				L3BytesPerCore: kb << 10,
 			}
 			if s == sim.SchemeAdaptive {
-				cfg.Telemetry = telemetryFor(trace, label)
+				cfg.Telemetry = telemetryFor(trace, label, session.Spans, sp.ID())
 				cfg.CheckInvariants = checkInvariants
 			}
 			r := sim.Run(cfg, mix)
 			row = append(row, r.HarmonicIPC)
 		}
+		sp.End()
 		t.AddRow(label, row...)
 	}
 	return t
 }
 
-func sweepPeriod(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer) *stats.Table {
+func sweepPeriod(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer, session *cliflags.Session, parent telemetry.SpanID) *stats.Table {
 	t := stats.NewTable("re-evaluation period sweep (adaptive): harmonic IPC",
 		"harmonic IPC", "repartitions", "evaluations")
 	for _, period := range []int{250, 500, 1000, 2000, 4000, 8000} {
 		label := fmt.Sprintf("%d misses", period)
+		sp := session.Spans.StartSpan("sweep.point "+label, parent)
 		r := sim.Run(sim.Config{
 			Scheme: sim.SchemeAdaptive, Seed: seed,
 			WarmupInstructions: warmup, MeasureCycles: cycles,
 			RepartitionPeriod: period,
-			Telemetry:         telemetryFor(trace, label),
+			Telemetry:         telemetryFor(trace, label, session.Spans, sp.ID()),
 			CheckInvariants:   checkInvariants,
 		}, mix)
+		sp.End()
 		t.AddRow(label, r.HarmonicIPC, float64(r.Repartitions), float64(r.Evaluations))
 	}
 	return t
 }
 
-func sweepWays(app string, seed uint64) *stats.Table {
+func sweepWays(app string, seed uint64, session *cliflags.Session, parent telemetry.SpanID) *stats.Table {
 	p, ok := workload.ByName(app)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown application %q\n", app)
@@ -181,7 +193,10 @@ func sweepWays(app string, seed uint64) *stats.Table {
 	}
 	t := stats.NewTable(fmt.Sprintf("Figure 3-style sweep for %s: L3 miss ratio vs ways", app), "miss ratio")
 	for _, w := range []int{1, 2, 3, 4, 5, 6, 8, 12, 16} {
-		t.AddRow(fmt.Sprintf("%d-way", w), experiment.MissRatioAtWays(p, w, seed))
+		label := fmt.Sprintf("%d-way", w)
+		sp := session.Spans.StartSpan("sweep.point "+label, parent)
+		t.AddRow(label, experiment.MissRatioAtWays(p, w, seed))
+		sp.End()
 	}
 	return t
 }

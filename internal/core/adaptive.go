@@ -250,6 +250,12 @@ type Adaptive struct {
 	// epoch boundary; observeEpoch subtracts it to publish per-epoch
 	// latency percentiles in the epoch samples.
 	epochLatBase telemetry.Histogram
+
+	// spans, when set, records one wall-clock span per repartition
+	// evaluation (the §2.1 decision is the engine's only cold path worth
+	// timing). Wall-clock only: never touches partitioning state.
+	spans      *telemetry.SpanRecorder
+	spanParent telemetry.SpanID
 }
 
 // NewAdaptive builds the organization over the given memory model.
@@ -497,6 +503,15 @@ func (a *Adaptive) FlushTelemetry() { a.flushTelemetry() }
 
 // Telemetry returns the attached instance (nil when disabled).
 func (a *Adaptive) Telemetry() *telemetry.Telemetry { return a.tel }
+
+// SetSpans attaches a wall-clock span recorder: every repartition
+// evaluation records one "adaptive.repartition" span under parent. A
+// nil rec detaches. The spans observe only wall time — simulated state
+// and the epoch series are byte-identical with or without them.
+func (a *Adaptive) SetSpans(rec *telemetry.SpanRecorder, parent telemetry.SpanID) {
+	a.spans = rec
+	a.spanParent = parent
+}
 
 // privTarget is the current private-partition size for a core: the
 // occupancy limit capped by the local associativity (Section 2.2).
@@ -899,6 +914,7 @@ func (a *Adaptive) rebalanceHomes(setIdx int) {
 // growing against the smallest loss of shrinking and transfer one block
 // per set if worthwhile. now is the decision cycle (telemetry only).
 func (a *Adaptive) repartition(now uint64) {
+	sp := a.spans.StartSpan("adaptive.repartition", a.spanParent)
 	a.missesSinceRepart = 0
 	a.Evaluations++
 
@@ -944,6 +960,8 @@ func (a *Adaptive) repartition(now uint64) {
 	if a.OnRepartition != nil {
 		a.OnRepartition(a.MaxBlocks(), transferred)
 	}
+	sp.SetDetail(a.Evaluations)
+	sp.End()
 }
 
 // observeEpoch records the evaluation just decided into the telemetry

@@ -43,6 +43,12 @@ type Options struct {
 	// (cmd/experiments -trace-out).
 	TraceWriter io.Writer
 
+	// Spans, together with SpanParent, threads the CLI's wall-clock span
+	// recorder into every adaptive run's telemetry so simulation phases
+	// nest under the experiment's own span (cmd/experiments -span-out).
+	Spans      *telemetry.SpanRecorder
+	SpanParent telemetry.SpanID
+
 	// CheckInvariants arms the structural invariant checker on every
 	// adaptive run (sim.Config.CheckInvariants): partition state is
 	// verified at each repartitioning evaluation and a violation aborts
@@ -79,10 +85,12 @@ func (o Options) simConfig(scheme sim.Scheme, seed uint64) sim.Config {
 		MeasureCycles:      o.MeasureCycles,
 		CheckInvariants:    o.CheckInvariants,
 	}
-	if o.TraceWriter != nil && scheme == sim.SchemeAdaptive {
+	if (o.TraceWriter != nil || o.Spans != nil) && scheme == sim.SchemeAdaptive {
 		cfg.Telemetry = &telemetry.Config{
 			Run:         fmt.Sprintf("%s-seed%d", scheme, seed),
 			TraceWriter: o.TraceWriter,
+			Spans:       o.Spans,
+			SpanParent:  o.SpanParent,
 		}
 	}
 	return cfg

@@ -10,13 +10,16 @@ import (
 
 // EncodeResult renders a sim.Result as the normalized JSON stored in
 // (and served from) the content-addressed cache. The simulator is
-// deterministic in the canonical spec, so after zeroing the single
-// nondeterministic field — wall-clock throughput — the bytes are a pure
-// function of the spec: a cache hit is byte-for-byte identical to what
-// a fresh run would have produced. The regression suite proves this by
-// diffing a cached artifact against a direct sim.Run.
+// deterministic in the canonical spec, so after zeroing the
+// nondeterministic fields — wall-clock throughput and the per-epoch Go
+// runtime samples, both observations of the host rather than of the
+// simulated machine — the bytes are a pure function of the spec: a
+// cache hit is byte-for-byte identical to what a fresh run would have
+// produced. The regression suite proves this by diffing a cached
+// artifact against a direct sim.Run.
 func EncodeResult(r sim.Result) ([]byte, error) {
 	r.Throughput.Wall = 0
+	r.RuntimeSamples = nil
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")

@@ -21,6 +21,9 @@ const maxRequestBody = 1 << 20
 //	GET    /v1/jobs/{id}        status + queue position
 //	GET    /v1/jobs/{id}/events NDJSON stream of status/progress/epoch events
 //	GET    /v1/jobs/{id}/result cached result.json (?artifact=epochs → epoch.csv)
+//	GET    /v1/jobs/{id}/spans  wall-clock span trace (Perfetto-loadable JSON);
+//	                            the committed artifact when the job is done, a
+//	                            live render of completed spans otherwise
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 once draining)
@@ -31,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -142,6 +146,24 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "unknown artifact "+strconv.Quote(artifact)+" (want result or epochs)")
 	}
+}
+
+// handleSpans serves the job's wall-clock span trace: the committed
+// spans.json artifact when one exists, otherwise a live render of every
+// span completed so far (queued, running, and failed jobs included —
+// flight-recorder semantics).
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if data, err := s.store.ReadSpans(j.ID); err == nil {
+		w.Write(data)
+		return
+	}
+	j.spans.WriteTrace(w)
 }
 
 // event is one NDJSON line on the /events stream. Exactly one of the

@@ -113,6 +113,19 @@ type Job struct {
 	// measures from here to the moment a worker picks the job up.
 	enqueued time.Time
 
+	// spans is the job's own wall-clock flight recorder; root covers the
+	// whole lifecycle ("job") and queueWait the time spent in the FIFO.
+	// The worker nests serve.run / serve.encode / serve.cache_commit and
+	// every simulation phase beneath root; the finished tree is published
+	// as the spans.json artifact and served by GET /v1/jobs/{id}/spans.
+	spans     *telemetry.SpanRecorder
+	root      telemetry.Span
+	queueWait telemetry.Span
+	// queueDepthAtSubmit is the FIFO depth (including this job) observed
+	// when the job was accepted — per-job context for the server-wide
+	// serve.queue_depth_high_water gauge.
+	queueDepthAtSubmit int
+
 	mu       sync.Mutex
 	state    JobState
 	err      string
@@ -127,7 +140,7 @@ type Job struct {
 }
 
 func newJob(id string, cfg sim.Config, mix []workload.AppParams) *Job {
-	return &Job{
+	j := &Job{
 		ID:       id,
 		cfg:      cfg,
 		mix:      mix,
@@ -135,7 +148,19 @@ func newJob(id string, cfg sim.Config, mix []workload.AppParams) *Job {
 		state:    StateQueued,
 		epochs:   telemetry.NewRing(telemetry.DefaultEpochCapacity),
 		wait:     make(chan struct{}),
+		spans:    telemetry.NewSpanRecorder(telemetry.SpanConfig{Process: "nucaserve"}),
 	}
+	j.root = j.spans.StartSpan("job", 0)
+	j.queueWait = j.spans.StartSpan("queue.wait", j.root.ID())
+	return j
+}
+
+// endSpans closes the lifecycle spans for jobs that never reach a worker
+// (cache hits, queue-time cancellations); the worker path ends them
+// itself at the right phase boundaries.
+func (j *Job) endSpans() {
+	j.queueWait.End()
+	j.root.End()
 }
 
 // bumpLocked wakes every streamer blocked on the job. Callers hold mu.
@@ -180,16 +205,23 @@ func (j *Job) setState(s JobState, errMsg string) {
 // Status is the wire shape of GET /v1/jobs/{id} and of "status" events
 // on the NDJSON stream.
 type Status struct {
-	ID            string             `json:"id"`
-	State         JobState           `json:"state"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// TraceID correlates everything observable about the job — NDJSON
+	// progress events, pprof "job" labels, and the spans.json wall-clock
+	// trace — and equals the job ID (the canonical-spec hash).
+	TraceID       string             `json:"trace_id"`
 	QueuePosition int                `json:"queue_position,omitempty"` // jobs ahead; only while queued
-	Cached        bool               `json:"cached,omitempty"`
-	Resumed       bool               `json:"resumed,omitempty"`
-	Error         string             `json:"error,omitempty"`
-	Progress      telemetry.Progress `json:"progress,omitempty"`
-	EpochsSeen    int                `json:"epochs_seen"` // live epoch samples observed so far
-	Scheme        string             `json:"scheme"`
-	Apps          []string           `json:"apps"`
+	// QueueDepthAtSubmit is the FIFO depth (including this job) when it
+	// was accepted — how congested the server was at submission.
+	QueueDepthAtSubmit int                `json:"queue_depth_at_submit,omitempty"`
+	Cached             bool               `json:"cached,omitempty"`
+	Resumed            bool               `json:"resumed,omitempty"`
+	Error              string             `json:"error,omitempty"`
+	Progress           telemetry.Progress `json:"progress,omitempty"`
+	EpochsSeen         int                `json:"epochs_seen"` // live epoch samples observed so far
+	Scheme             string             `json:"scheme"`
+	Apps               []string           `json:"apps"`
 }
 
 // status snapshots the job; queuePos is computed by the server (-1 when
@@ -198,14 +230,16 @@ func (j *Job) status(queuePos int) Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:         j.ID,
-		State:      j.state,
-		Cached:     j.cached,
-		Resumed:    j.resumed,
-		Error:      j.err,
-		Progress:   j.progress,
-		EpochsSeen: j.epochs.Len(),
-		Scheme:     string(j.cfg.Scheme),
+		ID:                 j.ID,
+		State:              j.state,
+		TraceID:            j.ID,
+		QueueDepthAtSubmit: j.queueDepthAtSubmit,
+		Cached:             j.cached,
+		Resumed:            j.resumed,
+		Error:              j.err,
+		Progress:           j.progress,
+		EpochsSeen:         j.epochs.Len(),
+		Scheme:             string(j.cfg.Scheme),
 	}
 	for _, p := range j.mix {
 		st.Apps = append(st.Apps, p.Name)

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"io"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"nucasim/internal/sim"
@@ -58,10 +60,13 @@ func (m *serverMetrics) snapshot() telemetry.MetricsSnapshot {
 // writeMetrics renders the /metrics exposition: every registry
 // instrument — lifecycle counters, job-latency and merged simulation
 // histograms — plus gauges computed at scrape time (per-state job
-// counts, queue and pool occupancy, uptime, and the process-wide
-// simulated-cycle throughput shared with the CLI tools). Everything
-// renders through the one telemetry.WriteMetrics path, so registry
-// gauges and scrape-time gauges can no longer diverge.
+// counts, queue and pool occupancy including the FIFO's all-time
+// high-water mark, uptime, the process-wide simulated-cycle throughput
+// shared with the CLI tools, Go runtime health sampled via
+// runtime/metrics, and a build_info info metric identifying the
+// binary). Everything renders through the one telemetry.WriteMetrics
+// path, so registry gauges and scrape-time gauges can no longer
+// diverge.
 func (s *Server) writeMetrics(w io.Writer) error {
 	m := s.metrics.snapshot()
 	if m.Gauges == nil {
@@ -70,6 +75,7 @@ func (s *Server) writeMetrics(w io.Writer) error {
 
 	s.mu.Lock()
 	m.Gauges["serve.queue_depth"] = float64(len(s.queue))
+	m.Gauges["serve.queue_depth_high_water"] = float64(s.queueHigh)
 	m.Gauges["serve.queue_capacity"] = float64(s.opts.QueueDepth)
 	m.Gauges["serve.workers"] = float64(s.opts.Workers)
 	m.Gauges["serve.workers_busy"] = float64(s.running)
@@ -93,6 +99,32 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	if up > 0 {
 		m.Gauges["sim.cycles_per_second"] = float64(cycles) / up
 	}
+	m.Gauges["telemetry.profiles_written"] = float64(telemetry.ProfilesWritten())
+
+	// Go runtime health, sampled at scrape time via runtime/metrics.
+	rs := telemetry.ReadRuntime()
+	m.Gauges["go.goroutines"] = float64(rs.Goroutines)
+	m.Gauges["go.heap_bytes"] = float64(rs.HeapBytes)
+	m.Gauges["go.gc_cycles"] = float64(rs.GCCycles)
+	m.Gauges["go.gc_pause_p99_seconds"] = rs.GCPauseP99
+	m.Gauges["go.sched_latency_p99_seconds"] = rs.SchedLatP99
+
+	if m.Infos == nil {
+		m.Infos = make(map[string]map[string]string)
+	}
+	info := map[string]string{"go_version": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info["path"] = bi.Main.Path
+		if bi.Main.Version != "" {
+			info["version"] = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				info["revision"] = kv.Value
+			}
+		}
+	}
+	m.Infos["nucaserve.build_info"] = info
 	return telemetry.WriteMetrics(w, m)
 }
 

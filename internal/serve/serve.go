@@ -61,13 +61,14 @@ type Server struct {
 	opts  Options
 	store *Store
 
-	mu       sync.Mutex
-	cond     *sync.Cond // queue became non-empty, or stopping
-	jobs     map[string]*Job
-	queue    []*Job // FIFO of StateQueued jobs
-	running  int
-	draining bool // no new submissions, workers stop dequeuing
-	stopping bool // workers exit
+	mu        sync.Mutex
+	cond      *sync.Cond // queue became non-empty, or stopping
+	jobs      map[string]*Job
+	queue     []*Job // FIFO of StateQueued jobs
+	queueHigh int    // deepest the FIFO has ever been (high-water mark)
+	running   int
+	draining  bool // no new submissions, workers stop dequeuing
+	stopping  bool // workers exit
 
 	metrics serverMetrics
 	started time.Time
@@ -125,6 +126,10 @@ func (s *Server) recover() error {
 		j.resumed = s.store.HasCheckpoint(hash)
 		s.jobs[hash] = j
 		s.queue = append(s.queue, j)
+		j.queueDepthAtSubmit = len(s.queue)
+		if len(s.queue) > s.queueHigh {
+			s.queueHigh = len(s.queue)
+		}
 	}
 	return nil
 }
@@ -158,6 +163,7 @@ func (s *Server) Submit(req JobRequest) (*Job, bool, error) {
 		j := newJob(hash, cfg, mix)
 		j.state = StateDone
 		j.cached = true
+		j.endSpans() // never queued or run; the lifecycle spans are empty
 		s.jobs[hash] = j
 		s.metrics.inc("serve.cache_hits")
 		return j, false, nil
@@ -175,6 +181,10 @@ func (s *Server) Submit(req JobRequest) (*Job, bool, error) {
 	j := newJob(hash, cfg, mix)
 	s.jobs[hash] = j
 	s.queue = append(s.queue, j)
+	j.queueDepthAtSubmit = len(s.queue)
+	if len(s.queue) > s.queueHigh {
+		s.queueHigh = len(s.queue)
+	}
 	s.metrics.inc("serve.jobs_submitted")
 	s.cond.Signal()
 	return j, true, nil
@@ -253,6 +263,7 @@ func (s *Server) Cancel(id string) (Status, bool) {
 		}
 		j.state = StateCanceled
 		j.cancelRequested = true
+		j.endSpans()
 		j.bumpLocked()
 		s.metrics.inc("serve.jobs_canceled")
 		s.store.Remove(id)
@@ -292,55 +303,84 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job end to end and publishes its outcome.
+// runJob executes one job end to end and publishes its outcome. The
+// whole execution carries a pprof "job" label (the trace ID), and every
+// phase — run, encode, cache commit — is recorded as a span under the
+// job's root; on success the finished tree is committed to the store as
+// the spans.json artifact.
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled between dequeue and here
+		j.endSpans()
 		j.mu.Unlock()
 		return
 	}
 	j.state = StateRunning
 	j.cancel = cancel
 	resume := j.resumed
+	j.queueWait.End()
 	j.bumpLocked()
 	j.mu.Unlock()
 
 	s.metrics.observe("serve.job_queue_wait_us", uint64(time.Since(j.enqueued).Microseconds()))
 	runStart := time.Now()
 
+	runSpan := j.spans.StartSpan("serve.run", j.root.ID())
 	var res sim.Result
 	var err error
-	if resume {
-		s.metrics.inc("serve.jobs_resumed")
-		res, err = sim.ResumeContextTelemetry(ctx, s.store.CheckpointPath(j.ID),
-			func(c *telemetry.Config) bool {
-				c.OnEpoch = j.onEpoch
-				c.OnProgress = j.onProgress
-				return true
-			})
-	} else {
-		res, err = sim.RunContext(ctx, s.jobConfig(j), j.mix)
-	}
+	telemetry.WithJob(ctx, j.ID, func(ctx context.Context) {
+		if resume {
+			s.metrics.inc("serve.jobs_resumed")
+			res, err = sim.ResumeContextTelemetry(ctx, s.store.CheckpointPath(j.ID),
+				func(c *telemetry.Config) bool {
+					c.OnEpoch = j.onEpoch
+					c.OnProgress = j.onProgress
+					c.Spans = j.spans
+					c.SpanParent = runSpan.ID()
+					c.SampleRuntime = true
+					return true
+				})
+		} else {
+			res, err = sim.RunContext(ctx, s.jobConfig(j, runSpan.ID()), j.mix)
+		}
+	})
+	runSpan.End()
 
 	s.metrics.observe("serve.job_run_us", uint64(time.Since(runStart).Microseconds()))
 
 	switch {
 	case err == nil:
 		s.metrics.merge(res.Histograms)
+		encSpan := j.spans.StartSpan("serve.encode", j.root.ID())
 		result, encErr := EncodeResult(res)
+		epochCSV := encodeEpochCSV(res)
+		encSpan.End()
 		if encErr == nil {
-			encErr = s.store.PutResult(j.ID, result, encodeEpochCSV(res))
+			commitSpan := j.spans.StartSpan("serve.cache_commit", j.root.ID())
+			encErr = s.store.PutResult(j.ID, result, epochCSV)
+			commitSpan.End()
 		}
 		if encErr != nil {
 			s.metrics.inc("serve.jobs_failed")
 			j.setState(StateFailed, encErr.Error())
+			j.root.End()
 			s.store.Remove(j.ID)
 			return
 		}
+		// Close the lifecycle and publish the span tree next to the other
+		// artifacts before announcing Done, so a client that sees the
+		// terminal state can count on spans.json existing. Best-effort: the
+		// result is already committed, and GET /v1/jobs/{id}/spans falls
+		// back to a live render.
+		j.root.End()
+		if spansErr := s.store.PutSpans(j.ID, j.spans.WriteTrace); spansErr != nil {
+			s.metrics.inc("serve.span_artifact_failures")
+		}
 		s.metrics.inc("serve.jobs_completed")
 		j.setState(StateDone, "")
+		return
 	case errors.Is(err, sim.ErrInterrupted):
 		j.mu.Lock()
 		wasCancel := j.cancelRequested
@@ -362,20 +402,26 @@ func (s *Server) runJob(j *Job) {
 		j.setState(StateFailed, err.Error())
 		s.store.Remove(j.ID)
 	}
+	j.root.End()
 }
 
 // jobConfig equips the job's semantic config with the server's live
-// observability (epoch + progress hooks feeding the job's stream) and,
-// for schemes that support it, crash-safe checkpointing into the store.
-// None of these additions changes what the run computes, so the
-// artifacts stay byte-identical to a direct sim.Run of the bare spec
-// with default telemetry.
-func (s *Server) jobConfig(j *Job) sim.Config {
+// observability (epoch + progress hooks feeding the job's stream, the
+// job's span recorder nesting simulation phases under the serve.run
+// span, per-epoch runtime-metrics sampling) and, for schemes that
+// support it, crash-safe checkpointing into the store. None of these
+// additions changes what the run computes, so the artifacts stay
+// byte-identical to a direct sim.Run of the bare spec with default
+// telemetry (EncodeResult strips the wall-clock-derived fields).
+func (s *Server) jobConfig(j *Job, parent telemetry.SpanID) sim.Config {
 	cfg := j.cfg
 	cfg.Telemetry = &telemetry.Config{
-		Run:        j.ID,
-		OnEpoch:    j.onEpoch,
-		OnProgress: j.onProgress,
+		Run:           j.ID,
+		OnEpoch:       j.onEpoch,
+		OnProgress:    j.onProgress,
+		Spans:         j.spans,
+		SpanParent:    parent,
+		SampleRuntime: true,
 	}
 	if cfg.Scheme == sim.SchemeAdaptive {
 		cfg.CheckpointPath = s.store.CheckpointPath(j.ID)

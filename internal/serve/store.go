@@ -15,12 +15,17 @@ import (
 //	<dir>/jobs/<hash>/spec.json       canonical spec (the hash preimage)
 //	<dir>/jobs/<hash>/result.json     normalized sim.Result (EncodeResult)
 //	<dir>/jobs/<hash>/epoch.csv       epoch time-series artifact
+//	<dir>/jobs/<hash>/spans.json      wall-clock span trace (Perfetto-loadable)
 //	<dir>/jobs/<hash>/checkpoint.bin  crash-safe mid-run state (transient)
 //
-// result.json is written last (each file individually atomic via
-// internal/atomicio), so its presence is the commit marker: a directory
-// with a spec but no result is unfinished work that a restarted server
-// re-queues — resuming from checkpoint.bin when one exists.
+// result.json is the commit marker (each file individually atomic via
+// internal/atomicio): a directory with a spec but no result is
+// unfinished work that a restarted server re-queues — resuming from
+// checkpoint.bin when one exists. spans.json is written after the
+// commit and is deliberately NOT part of the marker — it records
+// wall-clock observations, not simulated results, so a job without one
+// is still complete and /v1/jobs/{id}/spans falls back to a live
+// render.
 type Store struct {
 	dir string
 }
@@ -42,6 +47,20 @@ func (st *Store) ResultPath(hash string) string   { return filepath.Join(st.jobD
 func (st *Store) EpochCSVPath(hash string) string { return filepath.Join(st.jobDir(hash), "epoch.csv") }
 func (st *Store) CheckpointPath(hash string) string {
 	return filepath.Join(st.jobDir(hash), "checkpoint.bin")
+}
+
+// SpansPath names the job's wall-clock span-trace artifact.
+func (st *Store) SpansPath(hash string) string { return filepath.Join(st.jobDir(hash), "spans.json") }
+
+// PutSpans writes the job's span trace atomically. Called after
+// PutResult; spans.json never gates job completion.
+func (st *Store) PutSpans(hash string, render func(w io.Writer) error) error {
+	return atomicio.WriteFile(st.SpansPath(hash), render)
+}
+
+// ReadSpans returns the committed spans.json bytes.
+func (st *Store) ReadSpans(hash string) ([]byte, error) {
+	return os.ReadFile(st.SpansPath(hash))
 }
 
 // PutSpec persists the canonical spec bytes for hash, creating the job

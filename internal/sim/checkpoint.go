@@ -195,9 +195,11 @@ func (m *Machine) armInvariantChecks() *invariantGuard {
 			prev(limits, transferred)
 		}
 		if g.err == nil {
+			sp := m.startSpan("sim.invariant_check")
 			if err := invariant.Check(a); err != nil {
 				g.err = fmt.Errorf("sim: invariant violation at evaluation %d: %w", a.Evaluations, err)
 			}
+			sp.End()
 		}
 	}
 	return g
@@ -209,7 +211,10 @@ func (g *invariantGuard) final(m *Machine) error {
 		return g.err
 	}
 	if m.Cfg.CheckInvariants && m.Adaptive != nil {
-		if err := invariant.Check(m.Adaptive); err != nil {
+		sp := m.startSpan("sim.invariant_check")
+		err := invariant.Check(m.Adaptive)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("sim: invariant violation at end of run: %w", err)
 		}
 	}
@@ -235,39 +240,70 @@ func RunContext(ctx context.Context, cfg Config, mix []workload.AppParams) (Resu
 	guard := m.armInvariantChecks()
 	start := time.Now()
 
-	// Warmup carries no checkpoint: it is cheap to redo and the baseline
-	// snapshot that anchors Result deltas does not exist yet.
-	for done := uint64(0); done < cfg.WarmupInstructions; {
-		if ctx.Err() != nil {
-			return Result{}, fmt.Errorf("%w during warmup (no checkpoint)", ErrInterrupted)
-		}
-		seg := uint64(warmSegment)
-		if rem := cfg.WarmupInstructions - done; rem < seg {
-			seg = rem
-		}
-		m.warmFunctionalSegment(seg)
-		done += seg
-		m.Telemetry.ReportProgress(telemetry.Progress{Phase: "warmup-functional", Done: done, Total: cfg.WarmupInstructions})
-	}
-	m.Memory.Reset()
-	for done := uint64(0); done < cfg.WarmupCycles; {
-		if ctx.Err() != nil {
-			return Result{}, fmt.Errorf("%w during warmup (no checkpoint)", ErrInterrupted)
-		}
-		chunk := uint64(measureChunk)
-		if rem := cfg.WarmupCycles - done; rem < chunk {
-			chunk = rem
-		}
-		m.Run(chunk)
-		done += chunk
-		m.Telemetry.ReportProgress(telemetry.Progress{Phase: "warmup-cycles", Done: done, Total: cfg.WarmupCycles})
+	if err := m.warmup(ctx); err != nil {
+		m.spanRoot.End()
+		return Result{}, err
 	}
 	if guard.err != nil {
+		m.spanRoot.End()
 		return Result{}, guard.err
 	}
 
 	before := m.snap()
 	return m.measure(ctx, mix, before, 0, start, guard)
+}
+
+// warmup runs the functional fast-forward and the timed warmup window in
+// cancellable segments, under the pprof label phase=warmup and with one
+// wall-clock span per phase and per segment. Warmup carries no
+// checkpoint: it is cheap to redo and the baseline snapshot that anchors
+// Result deltas does not exist yet.
+func (m *Machine) warmup(ctx context.Context) (err error) {
+	cfg := m.Cfg
+	telemetry.WithPhase(ctx, "warmup", func(ctx context.Context) {
+		phase := m.startSpan("sim.warmup_functional")
+		for done := uint64(0); done < cfg.WarmupInstructions; {
+			if ctx.Err() != nil {
+				phase.End()
+				err = fmt.Errorf("%w during warmup (no checkpoint)", ErrInterrupted)
+				return
+			}
+			seg := uint64(warmSegment)
+			if rem := cfg.WarmupInstructions - done; rem < seg {
+				seg = rem
+			}
+			segSpan := m.startSpan("sim.warmup_segment")
+			m.warmFunctionalSegment(seg)
+			done += seg
+			segSpan.SetDetail(seg)
+			segSpan.End()
+			m.Telemetry.ReportProgress(telemetry.Progress{Phase: "warmup-functional", Done: done, Total: cfg.WarmupInstructions})
+		}
+		phase.SetDetail(cfg.WarmupInstructions)
+		phase.End()
+		m.Memory.Reset()
+		phase = m.startSpan("sim.warmup_cycles")
+		for done := uint64(0); done < cfg.WarmupCycles; {
+			if ctx.Err() != nil {
+				phase.End()
+				err = fmt.Errorf("%w during warmup (no checkpoint)", ErrInterrupted)
+				return
+			}
+			chunk := uint64(measureChunk)
+			if rem := cfg.WarmupCycles - done; rem < chunk {
+				chunk = rem
+			}
+			chunkSpan := m.startSpan("sim.warmup_chunk")
+			m.Run(chunk)
+			done += chunk
+			chunkSpan.SetDetail(chunk)
+			chunkSpan.End()
+			m.Telemetry.ReportProgress(telemetry.Progress{Phase: "warmup-cycles", Done: done, Total: cfg.WarmupCycles})
+		}
+		phase.SetDetail(cfg.WarmupCycles)
+		phase.End()
+	})
+	return err
 }
 
 // ResumeContext continues a checkpointed run to completion and returns
@@ -323,17 +359,40 @@ func ResumeContextTelemetry(ctx context.Context, path string, attach func(c *tel
 	return m.measure(ctx, ck.Mix, before, ck.Measured, time.Now(), guard)
 }
 
-// measure runs the measurement window from measured cycles already done,
-// checkpointing on the configured cadence and on interruption.
+// measure runs the measurement window under the pprof label
+// phase=measure, then ends the run's root span: it is the single exit
+// path for both fresh and resumed runs.
 func (m *Machine) measure(ctx context.Context, mix []workload.AppParams, before snapshot, measured uint64, start time.Time, guard *invariantGuard) (Result, error) {
+	var res Result
+	var err error
+	telemetry.WithPhase(ctx, "measure", func(ctx context.Context) {
+		res, err = m.measureLoop(ctx, mix, before, measured, start, guard)
+	})
+	m.spanRoot.End()
+	return res, err
+}
+
+// measureLoop runs the measurement window from measured cycles already
+// done, checkpointing on the configured cadence and on interruption, and
+// recording one wall-clock span per chunk and per checkpoint write.
+func (m *Machine) measureLoop(ctx context.Context, mix []workload.AppParams, before snapshot, measured uint64, start time.Time, guard *invariantGuard) (Result, error) {
 	cfg := m.Cfg
+	phase := m.startSpan("sim.measure")
+	defer phase.End()
 	nextCkpt := uint64(0)
 	if cfg.CheckpointPath != "" {
 		nextCkpt = measured + cfg.CheckpointEvery
 	}
+	writeCkpt := func() error {
+		sp := m.startSpan("sim.checkpoint_write")
+		err := WriteCheckpoint(cfg.CheckpointPath, m.captureCheckpoint(before, measured, mix))
+		sp.SetDetail(measured)
+		sp.End()
+		return err
+	}
 	interrupt := func() (Result, error) {
 		if cfg.CheckpointPath != "" {
-			if err := WriteCheckpoint(cfg.CheckpointPath, m.captureCheckpoint(before, measured, mix)); err != nil {
+			if err := writeCkpt(); err != nil {
 				return Result{}, fmt.Errorf("%w; writing checkpoint failed: %v", ErrInterrupted, err)
 			}
 		}
@@ -360,14 +419,17 @@ func (m *Machine) measure(ctx context.Context, mix []workload.AppParams, before 
 				chunk = rem
 			}
 		}
+		chunkSpan := m.startSpan("sim.measure_chunk")
 		m.Run(chunk)
 		measured += chunk
+		chunkSpan.SetDetail(chunk)
+		chunkSpan.End()
 		m.Telemetry.ReportProgress(telemetry.Progress{Phase: "measure", Done: measured, Total: cfg.MeasureCycles})
 		if guard.err != nil {
 			return Result{}, guard.err
 		}
 		if nextCkpt > 0 && measured >= nextCkpt && measured < cfg.MeasureCycles {
-			if err := WriteCheckpoint(cfg.CheckpointPath, m.captureCheckpoint(before, measured, mix)); err != nil {
+			if err := writeCkpt(); err != nil {
 				return Result{}, fmt.Errorf("sim: periodic checkpoint: %w", err)
 			}
 			nextCkpt = measured + cfg.CheckpointEvery

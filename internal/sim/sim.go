@@ -193,6 +193,13 @@ type Result struct {
 	// interpolated p50/p90/p99 and its non-empty buckets.
 	Histograms map[string]telemetry.HistogramSnapshot `json:",omitempty"`
 
+	// RuntimeSamples is the per-repartition-epoch Go runtime series
+	// (heap, goroutines, GC pauses, scheduler latency), present when
+	// Config.Telemetry.SampleRuntime was set. Wall-clock process
+	// telemetry, not simulated state: it is excluded from cached service
+	// results the same way Throughput.Wall is.
+	RuntimeSamples []telemetry.RuntimeSample `json:",omitempty"`
+
 	// SetStats is the adaptive scheme's per-global-set activity (fills,
 	// swaps, migrations, demotions, evictions, steals), indexed by set.
 	// Present when telemetry was enabled; the data behind nucadbg's
@@ -225,8 +232,22 @@ type Machine struct {
 	Telemetry *telemetry.Telemetry // nil unless Cfg.Telemetry was set
 	Verifier  *replay.Verifier     // nil unless Cfg.ReplayVerify (adaptive)
 
+	// spanRoot is the run's "sim.run" wall-clock span (inert unless
+	// Cfg.Telemetry.Spans was set); every phase span nests under it.
+	spanRoot telemetry.Span
+
 	now uint64
 }
+
+// startSpan opens a phase span under the run's root. Inert (one branch,
+// zero allocation) when spans are disabled.
+func (m *Machine) startSpan(name string) telemetry.Span {
+	return m.Telemetry.StartSpan(name, m.spanRoot.ID())
+}
+
+// RootSpanID exposes the run root span's ID so external observers
+// (artifact writers) can nest under it. Zero when spans are disabled.
+func (m *Machine) RootSpanID() telemetry.SpanID { return m.spanRoot.ID() }
 
 // NewMachine assembles a CMP running the given application mix (one entry
 // per core; len(mix) must equal Cores).
@@ -311,8 +332,10 @@ func NewMachine(cfg Config, mix []workload.AppParams) *Machine {
 				obs.SetLatencyRecorder(llc.NewLatencyRecorder(reg, "llc", cfg.Cores))
 			}
 		}
+		m.spanRoot = m.Telemetry.StartSpan("sim.run", m.Telemetry.SpanParent)
 		if adaptive != nil {
 			adaptive.SetTelemetry(m.Telemetry)
+			adaptive.SetSpans(m.Telemetry.Spans, m.spanRoot.ID())
 			if m.Verifier != nil {
 				// Flush inside the repartition path so the verifier
 				// sees the decision (and everything before it) while
@@ -461,6 +484,7 @@ func (m *Machine) results(mix []workload.AppParams, before snapshot, wall time.D
 		if m.Adaptive != nil {
 			res.SetStats = m.Adaptive.SetStats()
 		}
+		res.RuntimeSamples = m.Telemetry.Runtime.Samples()
 		m.Telemetry.Trace.Flush()
 	}
 	if m.Verifier != nil {

@@ -18,6 +18,11 @@ type MetricsSnapshot struct {
 	Counters   map[string]uint64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramSnapshot
+	// Infos maps a metric name to a constant label set rendered as a
+	// gauge with value 1 — the Prometheus info-metric idiom
+	// (`build_info{version="...",go_version="..."} 1`). Label values are
+	// escaped; label names must already be legal label identifiers.
+	Infos map[string]map[string]string
 	// Help optionally maps a metric's raw (pre-sanitization) name to its
 	// `# HELP` text; entries here override the package defaults in
 	// MetricHelp.
@@ -56,6 +61,14 @@ var MetricHelp = map[string]string{
 	"serve.job_run_us":             "Microseconds a worker spent running a job's simulation.",
 	"serve.queue_depth":            "Jobs waiting in the queue right now.",
 	"serve.workers_busy":           "Workers currently running a job.",
+	"serve.queue_depth_high_water": "Deepest queue observed at any job submission since process start.",
+	"telemetry.profiles_written":   "CPU/heap pprof artifacts this process has written.",
+	"nucaserve.build_info":         "Build metadata as constant labels; value is always 1.",
+	"go.goroutines":                "Live goroutines in the serving process.",
+	"go.heap_bytes":                "Bytes of live heap objects in the serving process.",
+	"go.gc_cycles":                 "Completed GC cycles since process start.",
+	"go.gc_pause_p99_seconds":      "99th-percentile GC stop-the-world pause since process start.",
+	"go.sched_latency_p99_seconds": "99th-percentile goroutine scheduling latency since process start.",
 }
 
 // helpFor resolves the HELP text for a raw metric name: the snapshot's
@@ -90,6 +103,21 @@ func WriteMetrics(w io.Writer, m MetricsSnapshot) error {
 		n := MetricName(name)
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
 			n, m.helpFor(name, "gauge"), n, n, m.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.Infos) {
+		n := MetricName(name)
+		labels := m.Infos[name]
+		var b strings.Builder
+		for i, k := range sortedKeys(labels) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", MetricName(k), labels[k])
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{%s} 1\n",
+			n, m.helpFor(name, "info"), n, n, b.String()); err != nil {
 			return err
 		}
 	}

@@ -14,6 +14,7 @@ import (
 // way promtool's lint does, scoped to what this repo emits: metric names
 // on the exposition alphabet, `# HELP` before `# TYPE` for every family,
 // exactly one TYPE per family, every sample belonging to a typed family,
+// well-formed label sets on scalar samples (info-style gauges),
 // and histogram series with monotone cumulative buckets, ascending `le`
 // bounds ending in `+Inf`, and `_count` equal to the `+Inf` bucket.
 // It returns every violation found, not just the first, so a broken
@@ -54,6 +55,11 @@ var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 var sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
 
 var leLabelRE = regexp.MustCompile(`^\{le="([^"]*)"\}$`)
+
+// labelSetRE validates a full label set on a scalar sample (info-style
+// gauges like build_info carry constant labels): comma-separated
+// name="value" pairs with backslash-escaped values.
+var labelSetRE = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$`)
 
 type histSeries struct {
 	lastLe    float64
@@ -137,8 +143,8 @@ func (l *expoLint) line(n int, text string) error {
 	} else if kind == "histogram" {
 		return fmt.Errorf("line %d: bare sample %q for histogram family", n, name)
 	}
-	if labels != "" {
-		return fmt.Errorf("line %d: unexpected labels %q on %s", n, labels, name)
+	if labels != "" && !labelSetRE.MatchString(labels) {
+		return fmt.Errorf("line %d: malformed label set %q on %s", n, labels, name)
 	}
 	return nil
 }

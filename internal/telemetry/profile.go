@@ -1,16 +1,34 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 )
 
+// profilesWritten counts pprof artifacts this process has produced, so
+// profiled runs are self-describing: the count is exported on /metrics
+// (telemetry.profiles_written) and each write leaves a profile_written
+// notice on stderr instead of finishing silently.
+var profilesWritten atomic.Uint64
+
+// ProfilesWritten returns how many CPU/heap profiles this process has
+// written.
+func ProfilesWritten() uint64 { return profilesWritten.Load() }
+
+func noteProfileWritten(kind, path string) {
+	profilesWritten.Add(1)
+	fmt.Fprintf(os.Stderr, "profile_written kind=%s path=%s\n", kind, path)
+}
+
 // StartCPUProfile begins writing a CPU profile to path and returns a
 // stop function that ends profiling and closes the file. With an empty
-// path it is a no-op returning a nil-safe stop.
+// path it is a no-op returning a nil-safe stop. The stop function
+// records a profile_written event.
 func StartCPUProfile(path string) (stop func() error, err error) {
 	if path == "" {
 		return func() error { return nil }, nil
@@ -25,12 +43,17 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 	}
 	return func() error {
 		pprof.StopCPUProfile()
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		noteProfileWritten("cpu", path)
+		return nil
 	}, nil
 }
 
 // WriteHeapProfile writes an allocation profile to path (after a GC, so
-// the numbers reflect live heap). An empty path is a no-op.
+// the numbers reflect live heap) and records a profile_written event.
+// An empty path is a no-op.
 func WriteHeapProfile(path string) error {
 	if path == "" {
 		return nil
@@ -44,7 +67,21 @@ func WriteHeapProfile(path string) error {
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		return fmt.Errorf("telemetry: heap profile: %w", err)
 	}
+	noteProfileWritten("heap", path)
 	return nil
+}
+
+// WithPhase runs f with the pprof label phase=<phase> applied, so
+// -cpuprofile samples attribute to simulation phases (warmup, measure).
+// Labels nest: a phase inside a WithJob region carries both labels.
+func WithPhase(ctx context.Context, phase string, f func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels("phase", phase), f)
+}
+
+// WithJob runs f with the pprof label job=<id> applied, tagging every
+// CPU sample of a service job with its content-address (= trace ID).
+func WithJob(ctx context.Context, id string, f func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels("job", id), f)
 }
 
 // Throughput is the simulator's self-observed speed over one run or one

@@ -6,10 +6,11 @@
 // observing the simulator process itself.
 //
 // Everything is nil-safe by design: a nil *Telemetry (and nil *Tracer,
-// *Counter, *Gauge, *Ring) turns every method into a no-op, so
-// instrumented hot paths pay exactly one pointer comparison when
-// telemetry is disabled. The simulator is single-threaded, like the rest
-// of the codebase; none of these types lock.
+// *Counter, *Gauge, *Ring, *SpanRecorder) turns every method into a
+// no-op, so instrumented hot paths pay exactly one pointer comparison
+// when telemetry is disabled. The simulator is single-threaded, like the
+// rest of the codebase; none of these types lock except SpanRecorder,
+// which serve workers share across goroutines.
 package telemetry
 
 import (
@@ -64,6 +65,27 @@ type Config struct {
 	// carry them (gob ignores func fields) and a resumed run is silent
 	// unless the caller re-installs them (sim.ResumeContextTelemetry).
 	OnProgress func(Progress)
+
+	// Spans, if set, receives wall-clock phase spans from the simulation
+	// driver (warmup segments, measurement chunks, repartition
+	// evaluations, checkpoint and artifact writes). Nil disables span
+	// recording at one branch per phase boundary. Like the hooks above,
+	// spans are process-local live wiring: checkpoints strip the whole
+	// Config, and a resumed run records into whatever recorder its
+	// caller re-attaches.
+	Spans *SpanRecorder
+
+	// SpanParent is the span the simulation's root span nests under
+	// (zero for a root of its own). Carried as a SpanID, not a Span
+	// handle, so Config stays gob-describable for the checkpoint's type
+	// graph.
+	SpanParent SpanID
+
+	// SampleRuntime enables one Go runtime/metrics observation (heap,
+	// goroutines, GC pauses, scheduler latency) per repartition epoch,
+	// collected into Telemetry.Runtime and surfaced as
+	// sim.Result.RuntimeSamples. Wall-clock-only, like spans.
+	SampleRuntime bool
 }
 
 // Progress is one coarse progress report from the simulation driver:
@@ -96,6 +118,16 @@ type Telemetry struct {
 	Epochs   *Ring
 	Trace    *Tracer
 
+	// Spans is the wall-clock span flight recorder (nil when disabled)
+	// and SpanParent the ID its phase spans nest under.
+	Spans      *SpanRecorder
+	SpanParent SpanID
+
+	// Runtime holds per-epoch Go runtime observations when
+	// Config.SampleRuntime is set (nil otherwise). Not checkpointed:
+	// wall-clock process telemetry has no place in simulated state.
+	Runtime *RuntimeRing
+
 	onEpoch    func(EpochSample)
 	onProgress func(Progress)
 }
@@ -106,7 +138,16 @@ func New(cfg Config) *Telemetry {
 	if capacity <= 0 {
 		capacity = DefaultEpochCapacity
 	}
-	t := &Telemetry{Epochs: NewRing(capacity), onEpoch: cfg.OnEpoch, onProgress: cfg.OnProgress}
+	t := &Telemetry{
+		Epochs:     NewRing(capacity),
+		Spans:      cfg.Spans,
+		SpanParent: cfg.SpanParent,
+		onEpoch:    cfg.OnEpoch,
+		onProgress: cfg.OnProgress,
+	}
+	if cfg.SampleRuntime {
+		t.Runtime = NewRuntimeRing(0)
+	}
 	if cfg.TraceWriter != nil {
 		sampleEvery := cfg.SampleEvery
 		if cfg.FullTrace {
@@ -123,16 +164,27 @@ func New(cfg Config) *Telemetry {
 // Enabled reports whether this instance observes anything.
 func (t *Telemetry) Enabled() bool { return t != nil }
 
-// RecordEpoch appends one sample to the epoch ring and forwards it to
-// the Config.OnEpoch hook, if any.
+// RecordEpoch appends one sample to the epoch ring, takes the per-epoch
+// runtime observation when enabled, and forwards the sample to the
+// Config.OnEpoch hook, if any.
 func (t *Telemetry) RecordEpoch(s EpochSample) {
 	if t == nil {
 		return
 	}
 	t.Epochs.Append(s)
+	t.Runtime.Sample(s.Eval)
 	if t.onEpoch != nil {
 		t.onEpoch(s)
 	}
+}
+
+// StartSpan opens a phase span under parent on this instance's
+// recorder. Nil-safe at one branch when spans are disabled.
+func (t *Telemetry) StartSpan(name string, parent SpanID) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.Spans.StartSpan(name, parent)
 }
 
 // ReportProgress forwards one phase-progress report to the

@@ -1,7 +1,10 @@
 // Command artifactcheck validates the telemetry artifacts a run emits:
 // the epoch CSV must parse with a well-formed header and at least one
-// evaluation row, and the JSONL trace must parse line by line with
-// known event types and replayable repartition decisions. With
+// evaluation row, the JSONL trace must parse line by line with known
+// event types and replayable repartition decisions, and the -span-out
+// trace (-spans) must be schema-valid Chrome trace-event JSON — every
+// track's B/E events properly nested with monotonic timestamps, with
+// -spans-require optionally demanding specific span names. With
 // -selfverify it additionally runs a short pinned-seed mixed-app
 // adaptive simulation in replay-verify mode, cross-checking the
 // trace-reconstructed per-set cache state against the live cache at
@@ -31,6 +34,8 @@ import (
 func main() {
 	metrics := flag.String("metrics", "", "epoch CSV to validate")
 	trace := flag.String("trace", "", "JSONL event trace to validate")
+	spans := flag.String("spans", "", "Chrome trace-event span JSON (-span-out) to validate")
+	spansRequire := flag.String("spans-require", "", "comma-separated span names that must appear in -spans")
 	selfverify := flag.Bool("selfverify", false, "run a short adaptive simulation and cross-check replayed vs live cache state every epoch")
 	resumesmoke := flag.Bool("resumesmoke", false, "interrupt a pinned adaptive run mid-measurement, resume it from its checkpoint, and require results bit-identical to the uninterrupted run")
 	flag.Parse()
@@ -44,6 +49,13 @@ func main() {
 		if err := checkTrace(*trace); err != nil {
 			fatal("trace %s: %v", *trace, err)
 		}
+	}
+	if *spans != "" {
+		if err := checkSpans(*spans, *spansRequire); err != nil {
+			fatal("spans %s: %v", *spans, err)
+		}
+	} else if *spansRequire != "" {
+		fatal("-spans-require needs -spans")
 	}
 	if *selfverify {
 		if err := checkSelfVerify(); err != nil {
@@ -137,6 +149,93 @@ func checkTrace(path string) error {
 	if _, err := telemetry.ReplayLimits(f, []int{3, 3, 3, 3}, ""); err != nil {
 		return fmt.Errorf("replay: %v", err)
 	}
+	return nil
+}
+
+// checkSpans validates a -span-out artifact as Chrome trace-event JSON
+// the way a trace viewer would consume it: the document must decode,
+// every track (tid) must carry properly nested matched B/E pairs whose
+// timestamps never go backwards, and — when require is non-empty —
+// every named span must occur at least once.
+func checkSpans(path, require string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  uint64  `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("not trace-event JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+
+	seen := map[string]int{}
+	lastTs := map[uint64]float64{}
+	stacks := map[uint64][]string{}
+	spans := 0
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M": // metadata carries no timestamp semantics
+			continue
+		case "B", "E":
+		default:
+			return fmt.Errorf("event %d: unsupported phase %q", i, ev.Ph)
+		}
+		if ev.Ts < lastTs[ev.Tid] {
+			return fmt.Errorf("event %d (%s %q): ts %.3f precedes %.3f on tid %d",
+				i, ev.Ph, ev.Name, ev.Ts, lastTs[ev.Tid], ev.Tid)
+		}
+		lastTs[ev.Tid] = ev.Ts
+		if ev.Ph == "B" {
+			seen[ev.Name]++
+			spans++
+			stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+			continue
+		}
+		st := stacks[ev.Tid]
+		if len(st) == 0 {
+			return fmt.Errorf("event %d: E %q closes nothing on tid %d", i, ev.Name, ev.Tid)
+		}
+		if top := st[len(st)-1]; top != ev.Name {
+			return fmt.Errorf("event %d: E %q does not match open span %q on tid %d", i, ev.Name, top, ev.Tid)
+		}
+		stacks[ev.Tid] = st[:len(st)-1]
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			return fmt.Errorf("tid %d leaves %d spans open: %v", tid, len(st), st)
+		}
+	}
+
+	var missing []string
+	if require != "" {
+		for _, name := range strings.Split(require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && seen[name] == 0 {
+				missing = append(missing, name)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		names := make([]string, 0, len(seen))
+		for n := range seen {
+			names = append(names, n)
+		}
+		return fmt.Errorf("required spans missing: %s (present: %s)",
+			strings.Join(missing, ", "), strings.Join(names, ", "))
+	}
+	fmt.Printf("artifactcheck: spans ok — %d spans on %d tracks, all B/E pairs matched\n", spans, len(lastTs))
 	return nil
 }
 
