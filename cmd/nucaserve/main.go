@@ -44,6 +44,7 @@ func main() {
 	state := flag.String("state", "", "state directory for the result cache and checkpoints (required)")
 	drain := flag.Duration("drain", 30*time.Second, "how long a shutdown lets running jobs finish before checkpointing them")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "periodic crash-safety checkpoint cadence in measured cycles (0 = simulator default)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline; a job that runs longer fails explicitly (0 = no deadline)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof/* on this extra address (e.g. 127.0.0.1:6060); off when empty")
 	common := cliflags.Register(flag.CommandLine, cliflags.Spec{Command: "nucaserve", Profiles: true})
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		QueueDepth:      *queue,
 		DrainTimeout:    *drain,
 		CheckpointEvery: *checkpointEvery,
+		JobTimeout:      *jobTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

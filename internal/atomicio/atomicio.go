@@ -44,6 +44,9 @@ type File struct {
 
 // Create starts an atomic write targeting path.
 func Create(path string) (*File, error) {
+	if err := failAt(OpCreate, path); err != nil {
+		return nil, fmt.Errorf("atomicio: staging %s: %w", path, err)
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -53,7 +56,12 @@ func Create(path string) (*File, error) {
 }
 
 // Write implements io.Writer.
-func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+func (f *File) Write(p []byte) (int, error) {
+	if err := failAt(OpWrite, f.path); err != nil {
+		return 0, err
+	}
+	return f.tmp.Write(p)
+}
 
 // Name returns the destination path the write targets.
 func (f *File) Name() string { return f.path }
@@ -65,6 +73,11 @@ func (f *File) Commit() error {
 	}
 	f.done = true
 	name := f.tmp.Name()
+	if err := failAt(OpSync, f.path); err != nil {
+		f.tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("atomicio: syncing %s: %w", f.path, err)
+	}
 	if err := f.tmp.Sync(); err != nil {
 		f.tmp.Close()
 		os.Remove(name)
@@ -73,6 +86,10 @@ func (f *File) Commit() error {
 	if err := f.tmp.Close(); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("atomicio: closing %s: %w", f.path, err)
+	}
+	if err := failAt(OpRename, f.path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: publishing %s: %w", f.path, err)
 	}
 	if err := os.Rename(name, f.path); err != nil {
 		os.Remove(name)

@@ -106,3 +106,72 @@ func TestCreateCommit(t *testing.T) {
 		t.Fatalf("content = %q", got)
 	}
 }
+
+// TestFailpointEveryOp injects a failure at each write step in turn and
+// checks the atomicity contract holds at every one: the error surfaces
+// to the caller, the destination keeps its old bytes, and no temp file
+// is left behind.
+func TestFailpointEveryOp(t *testing.T) {
+	for _, op := range []Op{OpCreate, OpWrite, OpSync, OpRename} {
+		t.Run(string(op), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			if err := os.WriteFile(path, []byte("old\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			boom := errors.New("injected " + string(op) + " failure")
+			SetFailpoint(func(got Op, p string) error {
+				if got == op && p == path {
+					return boom
+				}
+				return nil
+			})
+			defer SetFailpoint(nil)
+			err := WriteFile(path, func(w io.Writer) error {
+				_, err := fmt.Fprint(w, "new\n")
+				return err
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want %v", err, boom)
+			}
+			got, _ := os.ReadFile(path)
+			if string(got) != "old\n" {
+				t.Fatalf("old content clobbered: %q", got)
+			}
+			ents, _ := os.ReadDir(dir)
+			if len(ents) != 1 {
+				t.Fatalf("temp file left behind: %v", ents)
+			}
+		})
+	}
+}
+
+// TestFailpointTargetsOnePath checks injectors can scope a fault to a
+// single destination: other writes proceed untouched.
+func TestFailpointTargetsOnePath(t *testing.T) {
+	dir := t.TempDir()
+	victim := filepath.Join(dir, "victim.json")
+	bystander := filepath.Join(dir, "bystander.json")
+	SetFailpoint(func(op Op, p string) error {
+		if p == victim {
+			return errors.New("injected")
+		}
+		return nil
+	})
+	defer SetFailpoint(nil)
+	write := func(path string) error {
+		return WriteFile(path, func(w io.Writer) error {
+			_, err := fmt.Fprint(w, "data\n")
+			return err
+		})
+	}
+	if err := write(victim); err == nil {
+		t.Fatal("write to victim path succeeded despite failpoint")
+	}
+	if err := write(bystander); err != nil {
+		t.Fatalf("bystander write failed: %v", err)
+	}
+	if got, _ := os.ReadFile(bystander); string(got) != "data\n" {
+		t.Fatalf("bystander content = %q", got)
+	}
+}

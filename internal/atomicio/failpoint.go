@@ -1,0 +1,47 @@
+package atomicio
+
+import "sync/atomic"
+
+// Op names one step of an atomic write, for fault injection. Every
+// write passes through the same four steps in order: Create (staging
+// the temp file), Write (each chunk of payload), Sync and Rename (the
+// commit). A failpoint installed with SetFailpoint sees each step
+// before it executes and may veto it with an error, which propagates to
+// the caller exactly as the real syscall failure (ENOSPC, EIO, ...)
+// would — the temp file is cleaned up and the destination is left
+// untouched, which is precisely the guarantee the serve-layer fault
+// matrix exists to prove.
+type Op string
+
+const (
+	OpCreate Op = "create"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpRename Op = "rename"
+)
+
+// FailpointFunc inspects one write step; returning a non-nil error
+// makes that step fail with it. path is the destination path of the
+// write (not the temp file), so injectors can target one artifact.
+type FailpointFunc func(op Op, path string) error
+
+var failpoint atomic.Pointer[FailpointFunc]
+
+// SetFailpoint installs (or, with nil, clears) the process-wide write
+// failpoint. Test-only seam: production code never calls this, and the
+// nil fast path costs one atomic load per step.
+func SetFailpoint(f FailpointFunc) {
+	if f == nil {
+		failpoint.Store(nil)
+		return
+	}
+	failpoint.Store(&f)
+}
+
+func failAt(op Op, path string) error {
+	p := failpoint.Load()
+	if p == nil {
+		return nil
+	}
+	return (*p)(op, path)
+}

@@ -130,7 +130,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case "", "result":
 		data, err := s.store.ReadResult(j.ID)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			s.failCorrupt(w, j, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -138,7 +138,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case "epochs":
 		data, err := s.store.ReadEpochCSV(j.ID)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			s.failCorrupt(w, j, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/csv")
@@ -146,6 +146,28 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "unknown artifact "+strconv.Quote(artifact)+" (want result or epochs)")
 	}
+}
+
+// failCorrupt reports a failed artifact read. When the failure is an
+// integrity violation the store has already quarantined the entry, so
+// the done job record is downgraded to StateFailed — the client gets a
+// 410 with the diagnostic, and a resubmission of the same spec reruns
+// the job instead of deduping onto the poisoned record. Stale, never
+// wrong: under no path do unverified bytes leave the server.
+func (s *Server) failCorrupt(w http.ResponseWriter, j *Job, err error) {
+	var corrupt *CorruptError
+	if !errors.As(err, &corrupt) {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	j.mu.Lock()
+	if j.state == StateDone {
+		j.state = StateFailed
+		j.err = corrupt.Error()
+		j.bumpLocked()
+	}
+	j.mu.Unlock()
+	writeError(w, http.StatusGone, corrupt.Error())
 }
 
 // handleSpans serves the job's wall-clock span trace: the committed

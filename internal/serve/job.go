@@ -129,8 +129,10 @@ type Job struct {
 	mu       sync.Mutex
 	state    JobState
 	err      string
-	cached   bool // served straight from the result cache, no run
-	resumed  bool // continued from a checkpoint after a server restart
+	stack    string // captured goroutine stack when a worker panic failed the job
+	retries  int    // from-scratch reruns after transient failures (bad checkpoint)
+	cached   bool   // served straight from the result cache, no run
+	resumed  bool   // continued from a checkpoint after a server restart
 	progress telemetry.Progress
 	epochs   *telemetry.Ring // samples observed live via the OnEpoch hook
 	wait     chan struct{}   // closed+replaced on every update (broadcast)
@@ -202,6 +204,26 @@ func (j *Job) setState(s JobState, errMsg string) {
 	j.mu.Unlock()
 }
 
+// setFailed is setState(StateFailed, ...) plus the captured stack (empty
+// for non-panic failures).
+func (j *Job) setFailed(errMsg, stack string) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.err = errMsg
+	j.stack = stack
+	j.cancel = nil
+	j.bumpLocked()
+	j.mu.Unlock()
+}
+
+// retryBudgetLeft reports whether the job may still be retried from
+// scratch after a transient failure.
+func (j *Job) retryBudgetLeft() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.retries == 0
+}
+
 // Status is the wire shape of GET /v1/jobs/{id} and of "status" events
 // on the NDJSON stream.
 type Status struct {
@@ -218,6 +240,12 @@ type Status struct {
 	Cached             bool               `json:"cached,omitempty"`
 	Resumed            bool               `json:"resumed,omitempty"`
 	Error              string             `json:"error,omitempty"`
+	// Stack is the goroutine stack captured when a worker panic failed
+	// the job — the post-mortem travels with the job record.
+	Stack string `json:"stack,omitempty"`
+	// Retries counts from-scratch reruns after transient failures (e.g.
+	// an undecodable checkpoint that was deleted).
+	Retries int `json:"retries,omitempty"`
 	Progress           telemetry.Progress `json:"progress,omitempty"`
 	EpochsSeen         int                `json:"epochs_seen"` // live epoch samples observed so far
 	Scheme             string             `json:"scheme"`
@@ -237,6 +265,8 @@ func (j *Job) status(queuePos int) Status {
 		Cached:             j.cached,
 		Resumed:            j.resumed,
 		Error:              j.err,
+		Stack:              j.stack,
+		Retries:            j.retries,
 		Progress:           j.progress,
 		EpochsSeen:         j.epochs.Len(),
 		Scheme:             string(j.cfg.Scheme),

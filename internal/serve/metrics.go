@@ -25,6 +25,12 @@ func (m *serverMetrics) init() {
 	// after the first job completes.
 	m.reg.Histogram("serve.job_queue_wait_us")
 	m.reg.Histogram("serve.job_run_us")
+	// The fault-observability counter trio is registered eagerly too:
+	// dashboards alert on these, so they must read 0 from the first
+	// scrape rather than appearing only once something already failed.
+	m.reg.Counter("serve.jobs_failed")
+	m.reg.Counter("serve.panics_recovered")
+	m.reg.Counter("serve.cache_quarantined")
 }
 
 func (m *serverMetrics) inc(name string) {
@@ -88,9 +94,13 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	}
 	s.mu.Unlock()
 
+	// serve.jobs_state_<state>, not serve.jobs_<state>: the lifecycle
+	// counters (serve.jobs_failed, serve.jobs_canceled, ...) own that
+	// namespace, and a gauge and counter sharing one family name is an
+	// exposition-format violation the serve-smoke lint rejects.
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone,
 		StateFailed, StateCanceled, StateCheckpointed, StateInterrupted} {
-		m.Gauges["serve.jobs_"+string(st)] = float64(perState[st])
+		m.Gauges["serve.jobs_state_"+string(st)] = float64(perState[st])
 	}
 	up := time.Since(s.started).Seconds()
 	m.Gauges["serve.uptime_seconds"] = up

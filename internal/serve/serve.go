@@ -13,7 +13,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -39,6 +43,11 @@ type Options struct {
 	// CheckpointEvery is the periodic crash-safety cadence, in measured
 	// cycles, for running adaptive jobs (default sim's 50 000).
 	CheckpointEvery uint64
+	// JobTimeout bounds one job's wall-clock run time (queue wait
+	// excluded). Zero means no deadline. A job that exceeds it fails
+	// explicitly (StateFailed, serve.jobs_deadline_exceeded) instead of
+	// occupying a worker forever.
+	JobTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +82,12 @@ type Server struct {
 	metrics serverMetrics
 	started time.Time
 	wg      sync.WaitGroup
+
+	// testHookRun, when set, runs on the worker goroutine inside the
+	// panic-isolation scope just before the simulation starts — the
+	// fault matrix uses it to inject worker panics. Never set in
+	// production.
+	testHookRun func(j *Job)
 }
 
 // New builds a Server, re-queues unfinished work found in the state
@@ -95,6 +110,23 @@ func New(opts Options) (*Server, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics.init()
+	store.OnQuarantine(func(hash, reason string) {
+		s.metrics.inc("serve.cache_quarantined")
+		log.Printf("serve: quarantined cache entry %s: %s", hash, reason)
+		// When the entry belongs to a known job, stamp the quarantine on
+		// its wall-clock flight recorder too (GET /v1/jobs/{id}/spans),
+		// so the trace shows why a "done" job suddenly reran. Async:
+		// quarantine can fire under s.mu (e.g. the HasResult probe in
+		// Submit), and s.Job needs that same lock.
+		go func() {
+			if j, ok := s.Job(hash); ok {
+				j.spans.Event("cache.quarantined", j.root.ID())
+				j.mu.Lock()
+				j.bumpLocked() // wake /events watchers: state is about to change
+				j.mu.Unlock()
+			}
+		}()
+	})
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -106,13 +138,51 @@ func New(opts Options) (*Server, error) {
 }
 
 // recover re-queues every job the previous process left unfinished.
-// Jobs with a checkpoint resume mid-measurement; the rest rerun from
-// scratch. Recovery may exceed QueueDepth — the backlog is real work
-// already accepted, not new load.
+// The scan doubles as the store's integrity pass: committed entries are
+// verified against their manifests (corrupt ones are quarantined and —
+// when their spec survives — rerun from scratch), stale checkpoints
+// next to committed results are garbage-collected, and checkpoints that
+// no longer gob-decode are deleted so the job reruns instead of wedging
+// every restart on the same bad file. Jobs with a decodable checkpoint
+// resume mid-measurement; the rest rerun from scratch. Recovery may
+// exceed QueueDepth — the backlog is real work already accepted, not
+// new load.
 func (s *Server) recover() error {
+	hashes, err := s.store.JobDirs()
+	if err != nil {
+		return err
+	}
+	// Pass 1: integrity. CheckResult quarantines corrupt committed
+	// entries (moving their directory), so read the spec first — it is
+	// what lets the work rerun.
+	for _, hash := range hashes {
+		spec, specErr := os.ReadFile(s.store.SpecPath(hash))
+		if s.store.CheckResult(hash) != ResultCorrupt {
+			continue
+		}
+		if specErr != nil {
+			continue // quarantined with no salvageable spec; operator's call
+		}
+		if _, _, err := sim.ParseCanonicalSpec(spec); err != nil {
+			continue
+		}
+		// Re-persist the spec into a fresh job directory so the rerun is
+		// indistinguishable from a normal queued job.
+		if err := s.store.PutSpec(hash, spec); err != nil {
+			return fmt.Errorf("serve: re-queueing quarantined job %s: %w", hash, err)
+		}
+	}
+	// Pass 2: committed entries that verified clean may still carry a
+	// stale checkpoint (crash after commit, before checkpoint removal).
+	// Pass 3 (Pending) picks up everything uncommitted.
 	pending, err := s.store.Pending()
 	if err != nil {
 		return err
+	}
+	for _, hash := range hashes {
+		if _, isPending := pending[hash]; !isPending {
+			s.store.DropCheckpoint(hash)
+		}
 	}
 	for hash, spec := range pending {
 		cfg, mix, err := sim.ParseCanonicalSpec(spec)
@@ -122,14 +192,31 @@ func (s *Server) recover() error {
 			s.store.Remove(hash)
 			continue
 		}
+		resumable := false
+		if s.store.HasCheckpoint(hash) {
+			// Validate now: a checkpoint that fails gob decode would fail
+			// every resume attempt. Deleting it downgrades the job to a
+			// from-scratch rerun, which always makes progress.
+			if _, err := sim.ReadCheckpoint(s.store.CheckpointPath(hash)); err != nil {
+				log.Printf("serve: job %s: discarding undecodable checkpoint: %v", hash, err)
+				s.store.DropCheckpoint(hash)
+				s.metrics.inc("serve.checkpoints_discarded")
+			} else {
+				resumable = true
+			}
+		}
 		j := newJob(hash, cfg, mix)
-		j.resumed = s.store.HasCheckpoint(hash)
+		j.resumed = resumable
+		// Workers have not started, but quarantine observers may already
+		// be reading s.jobs from their own goroutines — take the lock.
+		s.mu.Lock()
 		s.jobs[hash] = j
 		s.queue = append(s.queue, j)
 		j.queueDepthAtSubmit = len(s.queue)
 		if len(s.queue) > s.queueHigh {
 			s.queueHigh = len(s.queue)
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -154,12 +241,22 @@ func (s *Server) Submit(req JobRequest) (*Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[hash]; ok {
-		s.metrics.inc("serve.jobs_deduped")
-		return j, false, nil
+		j.mu.Lock()
+		done := j.state == StateFailed || j.state == StateCanceled
+		j.mu.Unlock()
+		if !done {
+			s.metrics.inc("serve.jobs_deduped")
+			return j, false, nil
+		}
+		// Failed and canceled jobs released their on-disk state; an
+		// explicit resubmission is a request to try again, not a dedup —
+		// fall through and enqueue a fresh attempt under the same hash.
 	}
 	if s.store.HasResult(hash) {
-		// Cache hit from a previous process lifetime: materialize a
-		// completed job record around the stored artifacts.
+		// Cache hit from a previous process lifetime, integrity-verified
+		// against the entry's manifest (a corrupt entry was just
+		// quarantined and reads as a miss, so the job reruns below):
+		// materialize a completed job record around the stored artifacts.
 		j := newJob(hash, cfg, mix)
 		j.state = StateDone
 		j.cached = true
@@ -192,13 +289,17 @@ func (s *Server) Submit(req JobRequest) (*Job, bool, error) {
 
 // retryAfterLocked estimates (in whole seconds) when queue space is
 // likely: one slot per worker per second is a deliberately conservative
-// floor — clients back off harder, never busy-loop.
+// floor — clients back off harder, never busy-loop. The estimate is
+// jittered ±25% so a burst of rejected clients doesn't re-arrive as a
+// synchronized retry storm at the same instant.
 func (s *Server) retryAfterLocked() int {
-	est := (len(s.queue) + s.opts.Workers) / s.opts.Workers
-	if est < 1 {
-		est = 1
+	est := float64(len(s.queue)+s.opts.Workers) / float64(s.opts.Workers)
+	est *= 0.75 + rand.Float64()*0.5
+	ra := int(est + 0.5)
+	if ra < 1 {
+		ra = 1
 	}
-	return est
+	return ra
 }
 
 // Job looks up a job by ID.
@@ -303,13 +404,78 @@ func (s *Server) worker() {
 	}
 }
 
+// panicInfo captures what a recovered worker panic left behind.
+type panicInfo struct {
+	value string
+	stack string
+}
+
+// runIsolated executes the job's simulation with panic isolation: a
+// panicking engine (or a corrupt checkpoint that explodes mid-restore)
+// fails one job with a captured stack instead of killing the process
+// and every other job with it.
+func (s *Server) runIsolated(ctx context.Context, j *Job, parent telemetry.SpanID, resume bool, res *sim.Result, err *error) (panicked *panicInfo) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = &panicInfo{value: fmt.Sprint(r), stack: string(debug.Stack())}
+		}
+	}()
+	telemetry.WithJob(ctx, j.ID, func(ctx context.Context) {
+		if s.testHookRun != nil {
+			s.testHookRun(j)
+		}
+		if resume {
+			s.metrics.inc("serve.jobs_resumed")
+			*res, *err = sim.ResumeContextTelemetry(ctx, s.store.CheckpointPath(j.ID),
+				func(c *telemetry.Config) bool {
+					c.OnEpoch = j.onEpoch
+					c.OnProgress = j.onProgress
+					c.Spans = j.spans
+					c.SpanParent = parent
+					c.SampleRuntime = true
+					return true
+				})
+		} else {
+			*res, *err = sim.RunContext(ctx, s.jobConfig(j, parent), j.mix)
+		}
+	})
+	return nil
+}
+
+// requeueFromScratch puts a job whose failure is classed transient
+// (e.g. its checkpoint stopped decoding) back on the FIFO for a clean
+// from-scratch attempt. At most one retry per job: a second failure is
+// reported, not retried — the simulator is deterministic, so repeated
+// failure means the problem is not transient.
+func (s *Server) requeueFromScratch(j *Job) {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.resumed = false
+	j.retries++
+	j.cancel = nil
+	j.bumpLocked()
+	j.mu.Unlock()
+	s.metrics.inc("serve.jobs_retried")
+	s.mu.Lock()
+	s.queue = append(s.queue, j)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
 // runJob executes one job end to end and publishes its outcome. The
 // whole execution carries a pprof "job" label (the trace ID), and every
 // phase — run, encode, cache commit — is recorded as a span under the
 // job's root; on success the finished tree is committed to the store as
 // the spans.json artifact.
 func (s *Server) runJob(j *Job) {
-	ctx, cancel := context.WithCancel(context.Background())
+	base := context.Background()
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(base, s.opts.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
 	defer cancel()
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled between dequeue and here
@@ -330,27 +496,22 @@ func (s *Server) runJob(j *Job) {
 	runSpan := j.spans.StartSpan("serve.run", j.root.ID())
 	var res sim.Result
 	var err error
-	telemetry.WithJob(ctx, j.ID, func(ctx context.Context) {
-		if resume {
-			s.metrics.inc("serve.jobs_resumed")
-			res, err = sim.ResumeContextTelemetry(ctx, s.store.CheckpointPath(j.ID),
-				func(c *telemetry.Config) bool {
-					c.OnEpoch = j.onEpoch
-					c.OnProgress = j.onProgress
-					c.Spans = j.spans
-					c.SpanParent = runSpan.ID()
-					c.SampleRuntime = true
-					return true
-				})
-		} else {
-			res, err = sim.RunContext(ctx, s.jobConfig(j, runSpan.ID()), j.mix)
-		}
-	})
+	panicked := s.runIsolated(ctx, j, runSpan.ID(), resume, &res, &err)
 	runSpan.End()
 
 	s.metrics.observe("serve.job_run_us", uint64(time.Since(runStart).Microseconds()))
 
 	switch {
+	case panicked != nil:
+		// Clean the store first, then announce: a client that observes the
+		// terminal state must never find half-removed on-disk state.
+		s.store.Remove(j.ID)
+		s.metrics.inc("serve.panics_recovered")
+		s.metrics.inc("serve.jobs_failed")
+		log.Printf("serve: job %s: worker panic recovered: %s", j.ID, panicked.value)
+		j.root.End()
+		j.setFailed("panic: "+panicked.value, panicked.stack)
+		return
 	case err == nil:
 		s.metrics.merge(res.Histograms)
 		encSpan := j.spans.StartSpan("serve.encode", j.root.ID())
@@ -363,10 +524,10 @@ func (s *Server) runJob(j *Job) {
 			commitSpan.End()
 		}
 		if encErr != nil {
-			s.metrics.inc("serve.jobs_failed")
-			j.setState(StateFailed, encErr.Error())
-			j.root.End()
 			s.store.Remove(j.ID)
+			s.metrics.inc("serve.jobs_failed")
+			j.root.End()
+			j.setState(StateFailed, encErr.Error())
 			return
 		}
 		// Close the lifecycle and publish the span tree next to the other
@@ -387,9 +548,17 @@ func (s *Server) runJob(j *Job) {
 		j.mu.Unlock()
 		switch {
 		case wasCancel:
+			s.store.Remove(j.ID)
 			s.metrics.inc("serve.jobs_canceled")
 			j.setState(StateCanceled, "")
+		case ctx.Err() == context.DeadlineExceeded:
+			// The per-job deadline fired. This is an explicit failure, not
+			// a checkpoint: a job that cannot finish inside its budget
+			// must not be silently resumed into the same budget overrun.
 			s.store.Remove(j.ID)
+			s.metrics.inc("serve.jobs_deadline_exceeded")
+			s.metrics.inc("serve.jobs_failed")
+			j.setFailed(fmt.Sprintf("job exceeded its %s wall-clock deadline", s.opts.JobTimeout), "")
 		case s.store.HasCheckpoint(j.ID):
 			s.metrics.inc("serve.jobs_checkpointed")
 			j.setState(StateCheckpointed, "")
@@ -398,9 +567,21 @@ func (s *Server) runJob(j *Job) {
 			j.setState(StateInterrupted, "")
 		}
 	default:
+		// A resume attempt whose checkpoint no longer reads back is a
+		// transient failure: the spec is intact, so delete the bad
+		// checkpoint and rerun from scratch (once).
+		if resume && j.retryBudgetLeft() {
+			if _, ckErr := sim.ReadCheckpoint(s.store.CheckpointPath(j.ID)); ckErr != nil {
+				log.Printf("serve: job %s: checkpoint unusable (%v), rerunning from scratch", j.ID, ckErr)
+				s.store.DropCheckpoint(j.ID)
+				s.metrics.inc("serve.checkpoints_discarded")
+				s.requeueFromScratch(j)
+				return
+			}
+		}
+		s.store.Remove(j.ID)
 		s.metrics.inc("serve.jobs_failed")
 		j.setState(StateFailed, err.Error())
-		s.store.Remove(j.ID)
 	}
 	j.root.End()
 }

@@ -425,7 +425,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"serve_jobs_submitted 1",
 		"serve_jobs_completed 1",
-		"serve_jobs_done 1",
+		"serve_jobs_state_done 1",
 		"serve_workers 1",
 		"sim_cycles_simulated",
 	} {

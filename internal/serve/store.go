@@ -5,6 +5,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
 
 	"nucasim/internal/atomicio"
 )
@@ -13,21 +16,43 @@ import (
 // one directory named by its canonical-spec SHA-256:
 //
 //	<dir>/jobs/<hash>/spec.json       canonical spec (the hash preimage)
-//	<dir>/jobs/<hash>/result.json     normalized sim.Result (EncodeResult)
 //	<dir>/jobs/<hash>/epoch.csv       epoch time-series artifact
+//	<dir>/jobs/<hash>/manifest.json   SHA-256 of every committed artifact
+//	<dir>/jobs/<hash>/result.json     normalized sim.Result (EncodeResult)
 //	<dir>/jobs/<hash>/spans.json      wall-clock span trace (Perfetto-loadable)
 //	<dir>/jobs/<hash>/checkpoint.bin  crash-safe mid-run state (transient)
+//	<dir>/quarantine/<hash>.<nanos>/  job dirs that failed integrity checks
 //
 // result.json is the commit marker (each file individually atomic via
 // internal/atomicio): a directory with a spec but no result is
 // unfinished work that a restarted server re-queues — resuming from
-// checkpoint.bin when one exists. spans.json is written after the
-// commit and is deliberately NOT part of the marker — it records
-// wall-clock observations, not simulated results, so a job without one
-// is still complete and /v1/jobs/{id}/spans falls back to a live
-// render.
+// checkpoint.bin when one exists. Commit order is epoch.csv, then
+// manifest.json (recording the hash of every artifact including the
+// result about to land), then result.json — so a committed entry always
+// has a verifiable manifest, and every read path (cache-hit decisions
+// and artifact serving alike) checks the bytes against it. An entry
+// that fails verification is moved wholesale into quarantine/ — the
+// server serves stale-never-wrong bytes and reruns the job instead.
+//
+// spans.json is written after the commit and is deliberately NOT part
+// of the marker or the manifest — it records wall-clock observations,
+// not simulated results, so a job without one is still complete and
+// /v1/jobs/{id}/spans falls back to a live render.
 type Store struct {
 	dir string
+
+	// qmu serializes quarantine moves so two readers discovering the
+	// same corruption race on one os.Rename, not on bookkeeping.
+	qmu sync.Mutex
+	// onQuarantine, when set, observes every successful quarantine move
+	// (the Server wires it to the serve.cache_quarantined counter and
+	// the process log).
+	onQuarantine func(hash, reason string)
+	// commitHook, when set, is called before each step of PutResult and
+	// may veto it — the crash-at-point seam the fault matrix uses to
+	// reproduce a process dying between artifact writes. Production
+	// servers never set it.
+	commitHook func(step string) error
 }
 
 // NewStore opens (creating if needed) a store rooted at dir.
@@ -38,19 +63,37 @@ func NewStore(dir string) (*Store, error) {
 	return &Store{dir: dir}, nil
 }
 
+// OnQuarantine registers the observer for quarantine moves.
+func (st *Store) OnQuarantine(f func(hash, reason string)) { st.onQuarantine = f }
+
+// SetCommitHook installs the crash-at-point test seam (nil clears it).
+func (st *Store) SetCommitHook(f func(step string) error) { st.commitHook = f }
+
 func (st *Store) jobDir(hash string) string { return filepath.Join(st.dir, "jobs", hash) }
+
+func (st *Store) artifactPath(hash, name string) string {
+	return filepath.Join(st.jobDir(hash), name)
+}
+
+// QuarantineDir is where entries that failed integrity verification are
+// moved (each as <hash>.<unix-nanos> so repeated corruption of the same
+// hash never collides).
+func (st *Store) QuarantineDir() string { return filepath.Join(st.dir, "quarantine") }
 
 // SpecPath, ResultPath, EpochCSVPath and CheckpointPath name the job's
 // artifact files; CheckpointPath is handed to sim.Config.CheckpointPath.
-func (st *Store) SpecPath(hash string) string     { return filepath.Join(st.jobDir(hash), "spec.json") }
-func (st *Store) ResultPath(hash string) string   { return filepath.Join(st.jobDir(hash), "result.json") }
-func (st *Store) EpochCSVPath(hash string) string { return filepath.Join(st.jobDir(hash), "epoch.csv") }
+func (st *Store) SpecPath(hash string) string     { return st.artifactPath(hash, "spec.json") }
+func (st *Store) ResultPath(hash string) string   { return st.artifactPath(hash, "result.json") }
+func (st *Store) EpochCSVPath(hash string) string { return st.artifactPath(hash, "epoch.csv") }
 func (st *Store) CheckpointPath(hash string) string {
-	return filepath.Join(st.jobDir(hash), "checkpoint.bin")
+	return st.artifactPath(hash, "checkpoint.bin")
 }
 
+// ManifestPath names the job's integrity manifest.
+func (st *Store) ManifestPath(hash string) string { return st.artifactPath(hash, manifestFile) }
+
 // SpansPath names the job's wall-clock span-trace artifact.
-func (st *Store) SpansPath(hash string) string { return filepath.Join(st.jobDir(hash), "spans.json") }
+func (st *Store) SpansPath(hash string) string { return st.artifactPath(hash, "spans.json") }
 
 // PutSpans writes the job's span trace atomically. Called after
 // PutResult; spans.json never gates job completion.
@@ -75,14 +118,52 @@ func (st *Store) PutSpec(hash string, spec []byte) error {
 	})
 }
 
+func (st *Store) commitStep(step string) error {
+	if st.commitHook == nil {
+		return nil
+	}
+	return st.commitHook(step)
+}
+
 // PutResult publishes the job's artifacts: the epoch CSV first, then
-// result.json as the commit marker, then the now-obsolete checkpoint is
-// dropped.
+// the integrity manifest covering every artifact, then result.json as
+// the commit marker; finally the now-obsolete checkpoint is dropped. A
+// crash between any two steps leaves either an uncommitted entry (no
+// result.json → the job reruns) or a committed, fully verifiable one —
+// never a committed entry the manifest cannot vouch for.
 func (st *Store) PutResult(hash string, result, epochCSV []byte) error {
+	if err := st.commitStep("begin"); err != nil {
+		return err
+	}
+	spec, err := os.ReadFile(st.SpecPath(hash))
+	if err != nil {
+		return fmt.Errorf("serve: committing %s without a persisted spec: %w", hash, err)
+	}
 	if err := atomicio.WriteFile(st.EpochCSVPath(hash), func(w io.Writer) error {
 		_, err := w.Write(epochCSV)
 		return err
 	}); err != nil {
+		return err
+	}
+	if err := st.commitStep("epoch_csv"); err != nil {
+		return err
+	}
+	m := manifest{Version: manifestVersion, Artifacts: map[string]string{
+		"spec.json":   artifactDigest(spec),
+		"epoch.csv":   artifactDigest(epochCSV),
+		"result.json": artifactDigest(result),
+	}}
+	mbytes, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(st.ManifestPath(hash), func(w io.Writer) error {
+		_, err := w.Write(mbytes)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := st.commitStep("manifest"); err != nil {
 		return err
 	}
 	if err := atomicio.WriteFile(st.ResultPath(hash), func(w io.Writer) error {
@@ -91,14 +172,47 @@ func (st *Store) PutResult(hash string, result, epochCSV []byte) error {
 	}); err != nil {
 		return err
 	}
+	if err := st.commitStep("result"); err != nil {
+		return err
+	}
 	os.Remove(st.CheckpointPath(hash))
 	return nil
 }
 
-// HasResult reports a committed cache entry for hash.
+// ResultState classifies a hash's on-disk cache entry.
+type ResultState int
+
+const (
+	// ResultNone: no committed result (never run, or still in flight).
+	ResultNone ResultState = iota
+	// ResultOK: committed and every artifact verified against the manifest.
+	ResultOK
+	// ResultCorrupt: committed but verification failed; the entry has
+	// been moved to quarantine and must be recomputed.
+	ResultCorrupt
+)
+
+// CheckResult verifies hash's cache entry. A committed entry (result.json
+// present) is checked artifact-by-artifact against its manifest; any
+// violation quarantines the whole job directory before returning, so a
+// caller that sees ResultCorrupt knows the damaged bytes are already
+// out of serving reach.
+func (st *Store) CheckResult(hash string) ResultState {
+	if _, err := os.Stat(st.ResultPath(hash)); err != nil {
+		return ResultNone
+	}
+	if cerr := st.verifyManifest(hash); cerr != nil {
+		st.quarantine(hash, cerr.Artifact+": "+cerr.Reason)
+		return ResultCorrupt
+	}
+	return ResultOK
+}
+
+// HasResult reports a committed, integrity-verified cache entry for
+// hash. Corrupt entries are quarantined as a side effect and read as
+// absent — the caller reruns the job rather than serving wrong bytes.
 func (st *Store) HasResult(hash string) bool {
-	_, err := os.Stat(st.ResultPath(hash))
-	return err == nil
+	return st.CheckResult(hash) == ResultOK
 }
 
 // HasCheckpoint reports a resumable mid-run snapshot for hash.
@@ -107,41 +221,136 @@ func (st *Store) HasCheckpoint(hash string) bool {
 	return err == nil
 }
 
-// ReadResult returns the committed result.json bytes.
+// DropCheckpoint deletes hash's checkpoint (stale after a commit, or
+// undecodable — either way the job no longer resumes from it).
+func (st *Store) DropCheckpoint(hash string) { os.Remove(st.CheckpointPath(hash)) }
+
+// ReadResult returns the committed result.json bytes, verified against
+// the manifest. On corruption the entry is quarantined and a
+// *CorruptError returned.
 func (st *Store) ReadResult(hash string) ([]byte, error) {
-	return os.ReadFile(st.ResultPath(hash))
+	return st.readVerified(hash, st.ResultPath(hash))
 }
 
-// ReadEpochCSV returns the committed epoch.csv bytes.
+// ReadEpochCSV returns the committed epoch.csv bytes, verified against
+// the manifest like ReadResult.
 func (st *Store) ReadEpochCSV(hash string) ([]byte, error) {
-	return os.ReadFile(st.EpochCSVPath(hash))
+	return st.readVerified(hash, st.EpochCSVPath(hash))
+}
+
+// readVerified runs the full manifest verification, then re-reads the
+// requested artifact. The verify pass hashes the same file it returns,
+// so a reader can only receive bytes a manifest vouched for (modulo a
+// write racing between the two reads — and the only writer of committed
+// artifacts is the atomic commit itself).
+func (st *Store) readVerified(hash, path string) ([]byte, error) {
+	if _, err := os.Stat(st.ResultPath(hash)); err != nil {
+		// No commit marker: a plain cache miss (e.g. the entry is being
+		// recomputed right now), not an integrity violation.
+		return nil, err
+	}
+	if cerr := st.verifyManifest(hash); cerr != nil {
+		st.quarantine(hash, cerr.Artifact+": "+cerr.Reason)
+		return nil, cerr
+	}
+	return os.ReadFile(path)
+}
+
+// quarantine moves hash's whole job directory into quarantine/ and
+// records why. Idempotent under races: whichever caller wins the rename
+// reports the move; the loser finds the directory gone and stays quiet.
+func (st *Store) quarantine(hash, reason string) {
+	st.qmu.Lock()
+	defer st.qmu.Unlock()
+	if _, err := os.Stat(st.jobDir(hash)); err != nil {
+		return // already quarantined (or removed) by a racing reader
+	}
+	// Re-check the commit marker under the lock: a directory without
+	// result.json is unfinished work (a racing Remove + resubmission),
+	// not corruption — moving it would steal an in-flight commit's
+	// directory out from under the writer.
+	if _, err := os.Stat(st.ResultPath(hash)); err != nil {
+		return
+	}
+	if err := os.MkdirAll(st.QuarantineDir(), 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(st.QuarantineDir(), hash+"."+strconv.FormatInt(time.Now().UnixNano(), 10))
+	if err := os.Rename(st.jobDir(hash), dst); err != nil {
+		return
+	}
+	// Best effort: the reason travels with the evidence for the operator.
+	_ = atomicio.WriteFile(filepath.Join(dst, "REASON"), func(w io.Writer) error {
+		_, err := io.WriteString(w, reason+"\n")
+		return err
+	})
+	if st.onQuarantine != nil {
+		st.onQuarantine(hash, reason)
+	}
+}
+
+// Verify is the read-only integrity check: it reports whether hash's
+// committed entry matches its manifest without quarantining anything —
+// the building block for offline fsck tooling (artifactcheck
+// -servestore), where the operator wants a report, not a remediation.
+// Uncommitted entries (no result.json) verify clean: they are pending
+// work, not corruption.
+func (st *Store) Verify(hash string) error {
+	if _, err := os.Stat(st.ResultPath(hash)); err != nil {
+		return nil
+	}
+	if cerr := st.verifyManifest(hash); cerr != nil {
+		return cerr
+	}
+	return nil
 }
 
 // Remove deletes everything stored for hash (canceled or failed jobs,
-// so a restart does not resurrect them).
+// so a restart does not resurrect them). It takes the quarantine lock
+// so a removal never interleaves with a quarantine move of the same
+// directory.
 func (st *Store) Remove(hash string) error {
+	st.qmu.Lock()
+	defer st.qmu.Unlock()
 	return os.RemoveAll(st.jobDir(hash))
+}
+
+// JobDirs lists every job hash currently present under jobs/ (committed
+// or not); quarantined entries live elsewhere and are never listed.
+func (st *Store) JobDirs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			hashes = append(hashes, e.Name())
+		}
+	}
+	return hashes, nil
 }
 
 // Pending lists job hashes with a spec but no committed result — work
 // that was queued, running, or checkpointed when the previous process
 // stopped. The returned map holds each job's canonical spec bytes.
+// Committed entries that fail verification are quarantined here (this
+// is the recovery scan's integrity pass) and reported as pending when
+// their spec is still readable, so the work reruns.
 func (st *Store) Pending() (map[string][]byte, error) {
-	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	hashes, err := st.JobDirs()
 	if err != nil {
 		return nil, err
 	}
 	pending := make(map[string][]byte)
-	for _, e := range entries {
-		if !e.IsDir() {
+	for _, hash := range hashes {
+		// Read the spec before the integrity check: quarantining moves
+		// the directory, and the spec is what lets the job rerun.
+		spec, specErr := os.ReadFile(st.SpecPath(hash))
+		if st.CheckResult(hash) == ResultOK {
 			continue
 		}
-		hash := e.Name()
-		if st.HasResult(hash) {
-			continue
-		}
-		spec, err := os.ReadFile(st.SpecPath(hash))
-		if err != nil {
+		if specErr != nil {
 			// A directory without a readable spec is junk (e.g. a crash
 			// between MkdirAll and the spec write); skip it.
 			continue

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"nucasim/internal/workload"
+)
+
+// FuzzParseCanonicalSpec throws arbitrary bytes at the spec parser —
+// the exact code path a restarted server runs over every spec.json it
+// finds on disk, including ones a crash or bit-rot mangled. Invariants:
+// the parser never panics, and any input it accepts canonicalizes to a
+// fixed point — re-encoding the parsed spec and parsing it again yields
+// byte-identical canonical bytes, so content addresses are stable no
+// matter which equivalent encoding arrived.
+func FuzzParseCanonicalSpec(f *testing.F) {
+	// Seed with real canonical encodings spanning the config surface
+	// (beyond the checked-in corpus under testdata/fuzz/).
+	add := func(cfg Config, mix []workload.AppParams) {
+		spec, err := CanonicalSpec(cfg, mix)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(spec)
+	}
+	ammp, _ := workload.ByName("ammp")
+	swim, _ := workload.ByName("swim")
+	add(Config{Scheme: SchemeAdaptive, Seed: 1, MeasureCycles: 1000},
+		[]workload.AppParams{ammp, swim, ammp, swim})
+	add(Config{Scheme: SchemePrivate, Cores: 2, Seed: 42, MeasureCycles: 500, Scaled: true},
+		[]workload.AppParams{ammp, swim})
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99,"cores":4}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, mix, err := ParseCanonicalSpec(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		canon, err := CanonicalSpec(cfg, mix)
+		if err != nil {
+			t.Fatalf("accepted spec failed to re-canonicalize: %v", err)
+		}
+		cfg2, mix2, err := ParseCanonicalSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to re-parse: %v", err)
+		}
+		canon2, err := CanonicalSpec(cfg2, mix2)
+		if err != nil {
+			t.Fatalf("re-parsed spec failed to canonicalize: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonicalization is not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+		h1, err := SpecHash(cfg, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := SpecHash(cfg2, mix2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("content address unstable across a round-trip: %s vs %s", h1, h2)
+		}
+	})
+}

@@ -8,8 +8,10 @@
 // -selfverify it additionally runs a short pinned-seed mixed-app
 // adaptive simulation in replay-verify mode, cross-checking the
 // trace-reconstructed per-set cache state against the live cache at
-// every repartition epoch. Used by `make smoke` / `make ci`; exits
-// non-zero with a diagnostic on any violation.
+// every repartition epoch. With -servestore it fscks a nucaserve state
+// directory, verifying every committed cache entry against its
+// integrity manifest without touching anything. Used by `make smoke` /
+// `make ci`; exits non-zero with a diagnostic on any violation.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"nucasim/internal/serve"
 	"nucasim/internal/sim"
 	"nucasim/internal/telemetry"
 	"nucasim/internal/workload"
@@ -38,6 +41,7 @@ func main() {
 	spansRequire := flag.String("spans-require", "", "comma-separated span names that must appear in -spans")
 	selfverify := flag.Bool("selfverify", false, "run a short adaptive simulation and cross-check replayed vs live cache state every epoch")
 	resumesmoke := flag.Bool("resumesmoke", false, "interrupt a pinned adaptive run mid-measurement, resume it from its checkpoint, and require results bit-identical to the uninterrupted run")
+	servestore := flag.String("servestore", "", "nucaserve state directory to fsck: verify every committed cache entry against its manifest (read-only)")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -67,6 +71,38 @@ func main() {
 			fatal("resumesmoke: %v", err)
 		}
 	}
+	if *servestore != "" {
+		if err := checkServeStore(*servestore); err != nil {
+			fatal("servestore %s: %v", *servestore, err)
+		}
+	}
+}
+
+// checkServeStore is the offline fsck for a nucaserve state directory:
+// every committed cache entry must verify against its manifest. It is
+// read-only — unlike the live server it reports corruption instead of
+// quarantining it, so an operator can inspect the evidence in place.
+func checkServeStore(dir string) error {
+	store, err := serve.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	hashes, err := store.JobDirs()
+	if err != nil {
+		return err
+	}
+	var bad int
+	for _, hash := range hashes {
+		if err := store.Verify(hash); err != nil {
+			fmt.Fprintf(os.Stderr, "artifactcheck: %v\n", err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d entries fail integrity verification", bad, len(hashes))
+	}
+	fmt.Printf("artifactcheck: servestore ok — %d entries verified against their manifests\n", len(hashes))
+	return nil
 }
 
 func fatal(format string, args ...any) {
