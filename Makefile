@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-serve smoke span-smoke serve-smoke crash-smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke staticcheck govulncheck ci clean
+.PHONY: all build vet test race bench bench-smoke bench-serve bench-sweep smoke span-smoke serve-smoke sweep-smoke crash-smoke replay-verify golden golden-check fault-coverage resume-smoke fuzz-smoke staticcheck govulncheck ci clean
 
 all: build
 
@@ -92,7 +92,8 @@ golden: build
 # Regenerate the baseline into a scratch dir and diff against the
 # committed one: any difference is an unintended behaviour change.
 golden-check: build
-	rm -rf /tmp/nucasim-golden
+	rm -rf /tmp/nucasim-golden /tmp/nucasim-sweepsmoke
+	rm -f /tmp/nucasim-bench-sweep.txt
 	$(GO) run ./internal/tools/golden -out /tmp/nucasim-golden
 	diff -u testdata/golden/epoch.csv /tmp/nucasim-golden/epoch.csv
 	diff -u testdata/golden/limits.json /tmp/nucasim-golden/limits.json
@@ -120,6 +121,20 @@ serve-smoke: build
 	$(GO) build -o /tmp/nucaserve ./cmd/nucaserve
 	$(GO) run ./internal/tools/servesmoke -bin /tmp/nucaserve
 
+# End-to-end smoke of the sweep orchestration service: run an 8-point
+# shared-warmup sweep through the real nucaserve binary, assert from
+# the /metrics counters that the warmup ran exactly once and all 8
+# points forked its checkpoint, byte-compare every forked result
+# against a cold in-process run, then fsck the state directory's job
+# and sweep entries against their integrity manifests.
+sweep-smoke: build
+	$(GO) build -o /tmp/nucaserve ./cmd/nucaserve
+	rm -rf /tmp/nucasim-sweepsmoke
+	$(GO) run ./internal/tools/sweepsmoke -bin /tmp/nucaserve -state /tmp/nucasim-sweepsmoke
+	$(GO) run ./internal/tools/artifactcheck -servestore /tmp/nucasim-sweepsmoke \
+		-sweepstore /tmp/nucasim-sweepsmoke
+	@echo sweep-smoke ok
+
 # Crash-consistency smoke: SIGKILL the real server binary mid-job (no
 # drain, no signal handler — what the OOM killer does), restart it over
 # the same state directory, and require the job to resume from its
@@ -137,6 +152,17 @@ bench-serve: build
 	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench-serve.txt \
 		-out BENCH_serve.json -require BenchmarkServeSubmit
 	@echo "bench record written to BENCH_serve.json"
+
+# Benchmark warmup forking against cold per-point runs on the same
+# 8-point sweep into BENCH_sweep.json: forking must keep a real
+# throughput win (forked <= 0.85x cold ns/op) or the gate fails.
+bench-sweep: build
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep(Forked|Cold)$$' -benchmem \
+		-count=5 ./internal/sweep/ | tee /tmp/nucasim-bench-sweep.txt
+	$(GO) run ./internal/tools/benchjson -in /tmp/nucasim-bench-sweep.txt \
+		-out BENCH_sweep.json -require BenchmarkSweepForked,BenchmarkSweepCold \
+		-max-ratio BenchmarkSweepForked/BenchmarkSweepCold=0.85
+	@echo "bench record written to BENCH_sweep.json"
 
 # Short fuzz pass over the external-input parsers (JSONL trace, binary
 # address trace). Seed corpora live under */testdata/fuzz/.
@@ -164,10 +190,11 @@ govulncheck:
 		echo "govulncheck not installed; skipping (CI installs it)"; \
 	fi
 
-ci: vet staticcheck build race smoke span-smoke serve-smoke crash-smoke replay-verify golden-check fault-coverage bench-smoke resume-smoke fuzz-smoke govulncheck
+ci: vet staticcheck build race smoke span-smoke serve-smoke sweep-smoke crash-smoke replay-verify golden-check fault-coverage bench-smoke resume-smoke fuzz-smoke govulncheck
 
 clean:
 	rm -f /tmp/nucasim-smoke.csv /tmp/nucasim-smoke.jsonl /tmp/nucasim-smoke.txt
 	rm -f /tmp/nucasim-spans.json /tmp/nucasim-span-smoke.txt /tmp/nucasim-span-smoke.csv
 	rm -f /tmp/nucasim-span-smoke.jsonl /tmp/nucasim-span-bench.txt /tmp/nucasim-span-bench.json
-	rm -rf /tmp/nucasim-golden
+	rm -rf /tmp/nucasim-golden /tmp/nucasim-sweepsmoke
+	rm -f /tmp/nucasim-bench-sweep.txt

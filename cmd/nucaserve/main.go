@@ -10,7 +10,11 @@
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events
 // (NDJSON), GET /v1/jobs/{id}/result[?artifact=epochs],
 // GET /v1/jobs/{id}/spans (Perfetto-loadable wall-clock span trace),
-// DELETE /v1/jobs/{id}, /healthz, /readyz, /metrics.
+// DELETE /v1/jobs/{id}, POST /v1/sweeps (parameter sweeps: the grid
+// expands server-side, points dedupe against the result cache, and
+// points sharing a warmup hash fork one warmup checkpoint),
+// GET /v1/sweeps[/{id}[/events|/result]], DELETE /v1/sweeps/{id},
+// /healthz, /readyz, /metrics.
 //
 // -debug-addr starts a second listener serving /debug/pprof/* (profiles,
 // goroutine dumps, execution traces). It is a separate server on its own
@@ -45,6 +49,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "how long a shutdown lets running jobs finish before checkpointing them")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "periodic crash-safety checkpoint cadence in measured cycles (0 = simulator default)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline; a job that runs longer fails explicitly (0 = no deadline)")
+	maxSweepPoints := flag.Int("max-sweep-points", 0, "largest grid POST /v1/sweeps will expand (0 = sweep engine default)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof/* on this extra address (e.g. 127.0.0.1:6060); off when empty")
 	common := cliflags.Register(flag.CommandLine, cliflags.Spec{Command: "nucaserve", Profiles: true})
 	flag.Parse()
@@ -66,6 +71,7 @@ func main() {
 		DrainTimeout:    *drain,
 		CheckpointEvery: *checkpointEvery,
 		JobTimeout:      *jobTimeout,
+		MaxSweepPoints:  *maxSweepPoints,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,31 +1,48 @@
-// Command sweep runs parameter sweeps around the paper's design points:
+// Command sweep runs parameter sweeps around the paper's design points,
+// either in-process or by submitting to a running nucaserve:
 //
-//	sweep -kind capacity   # L3 bytes per core: 512 KB .. 4 MB (Fig. 7 vs 9)
-//	sweep -kind period     # adaptive re-evaluation period (paper: 2000 misses)
-//	sweep -kind ways       # Figure 3-style associativity sweep for one app
+//	sweep -kind capacity         # scheme × L3 bytes per core (Fig. 7 vs 9)
+//	sweep -kind period           # adaptive re-evaluation period (paper: 2000 misses)
+//	sweep -kind ways             # Figure 3-style associativity sweep for one app
+//	sweep -spec study.json       # arbitrary sweep spec (same schema as POST /v1/sweeps)
+//	sweep -spec study.json -server http://127.0.0.1:8080
 //
-// Each sweep prints one table of harmonic-mean IPC (or misses) per point.
+// Grid sweeps (everything except -kind ways) go through the shared
+// sweep engine: the spec expands to canonical points, points sharing a
+// warmup hash run warmup once and fork the checkpoint, and results
+// aggregate into one table of harmonic-mean IPC and supporting metrics
+// per point. With -server the same spec is POSTed to nucaserve, which
+// dedupes points against its result cache; the CLI polls the sweep to
+// completion and renders the downloaded table identically. The ways
+// sweep stays a client-side analytic study over the shadow-tag
+// miss-ratio curves (associativity is a geometry constant of the flat
+// arena, so it is not a server axis).
+//
 // Observability flags mirror cmd/experiments: -json (table as JSON),
-// -metrics-out (table as CSV), -trace-out (JSONL sharing-engine events of
-// every adaptive run, labelled per sweep point), -span-out (Perfetto-
-// loadable wall-clock spans, one "sweep.point <label>" span per design
-// point with the adaptive run's phases nested beneath),
-// -cpuprofile/-memprofile (pprof), and a wall-clock /
-// simulated-cycles-per-second footer on stderr.
+// -metrics-out (table as CSV), -trace-out (JSONL sharing-engine events,
+// labelled per sweep point), -span-out (Perfetto-loadable wall-clock
+// spans, one "sweep.point <label>" span per locally simulated
+// measurement window), -cpuprofile/-memprofile (pprof), and a
+// wall-clock / simulated-cycles-per-second footer on stderr.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"nucasim/internal/experiment"
+	"nucasim/internal/serve"
 	"nucasim/internal/sim"
 	"nucasim/internal/stats"
+	"nucasim/internal/sweep"
 	"nucasim/internal/telemetry"
 	"nucasim/internal/tools/cliflags"
 	"nucasim/internal/workload"
@@ -38,6 +55,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup-instrs", 1_000_000, "functional warmup per core")
 	cycles := flag.Uint64("cycles", 600_000, "measured cycles")
+	specPath := flag.String("spec", "", "sweep spec JSON file (same schema as POST /v1/sweeps; overrides -kind)")
+	server := flag.String("server", "", "submit to a running nucaserve at this base URL instead of simulating in-process")
+	maxPoints := flag.Int("max-points", 0, "local grid-size cap (0 = engine default; the server enforces its own)")
 	flag.BoolVar(&checkInvariants, "check-invariants", false, "verify adaptive-scheme structural invariants at every repartition epoch (aborts on violation)")
 	common := cliflags.Register(flag.CommandLine, cliflags.Spec{
 		Command:      "sweep",
@@ -55,36 +75,39 @@ func main() {
 		os.Exit(1)
 	}
 
-	var trace io.Writer
-	if session.Trace != nil {
-		trace = session.Trace
-	}
-
 	start := time.Now()
 	cyclesBefore := sim.CyclesSimulated()
 
 	var t *stats.Table
 	var footer string
-	sweepSpan := session.StartSpan("sweep." + *kind)
-	switch *kind {
-	case "capacity":
-		t = sweepCapacity(mixFrom(*apps), *seed, *warmup, *cycles, trace, session, sweepSpan.ID())
-	case "period":
-		t = sweepPeriod(mixFrom(*apps), *seed, *warmup, *cycles, trace, session, sweepSpan.ID())
-		footer = "(paper §2.1 uses 2000 misses: long enough to measure, short enough to adapt)"
-	case "ways":
+	switch {
+	case *specPath == "" && *kind == "ways":
+		if *server != "" {
+			fatal(session, fmt.Errorf("sweep: the ways sweep is a client-side analytic study; it has no server mode"))
+		}
+		sweepSpan := session.StartSpan("sweep.ways")
 		t = sweepWays(*app, *seed, session, sweepSpan.ID())
+		sweepSpan.End()
 	default:
-		fmt.Fprintln(os.Stderr, "unknown sweep kind:", *kind)
-		os.Exit(2)
+		spec, note, err := buildSpec(*specPath, *kind, *apps, *seed, *warmup, *cycles)
+		if err != nil {
+			fatal(session, err)
+		}
+		footer = note
+		if *server != "" {
+			t, err = runRemote(*server, spec)
+		} else {
+			t, err = runLocal(spec, *maxPoints, session)
+		}
+		if err != nil {
+			fatal(session, err)
+		}
 	}
-	sweepSpan.End()
 
 	if common.JSON {
 		b, err := json.Marshal(t)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(session, err)
 		}
 		fmt.Println(string(b))
 	} else {
@@ -94,95 +117,210 @@ func main() {
 		}
 	}
 	if err := common.WriteMetricsFile(t.WriteCSV); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(session, err)
 	}
 
 	tp := telemetry.Throughput{
 		Wall:      time.Since(start),
 		SimCycles: sim.CyclesSimulated() - cyclesBefore,
 	}
-	fmt.Fprintf(os.Stderr, "# %s sweep: %s\n", *kind, tp)
+	fmt.Fprintf(os.Stderr, "# sweep: %s\n", tp)
 
 	if err := session.Close(true); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
 }
 
-func mixFrom(csv string) []workload.AppParams {
-	var mix []workload.AppParams
-	for _, name := range strings.Split(csv, ",") {
-		p, ok := workload.ByName(strings.TrimSpace(name))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown application %q\n", name)
-			os.Exit(2)
-		}
-		mix = append(mix, p)
-	}
-	if len(mix) != 4 {
-		fmt.Fprintln(os.Stderr, "need exactly 4 applications")
-		os.Exit(2)
-	}
-	return mix
+func fatal(session *cliflags.Session, err error) {
+	fmt.Fprintln(os.Stderr, err)
+	session.Close(false)
+	os.Exit(1)
 }
 
 // checkInvariants mirrors the -check-invariants flag into every adaptive
 // sweep point's sim.Config.
 var checkInvariants bool
 
-// telemetryFor labels one sweep point's adaptive run in a shared trace
-// and nests the run's phase spans under that point's span. Nil when no
-// observability sink wants the run.
-func telemetryFor(trace io.Writer, label string, spans *telemetry.SpanRecorder, parent telemetry.SpanID) *telemetry.Config {
-	if trace == nil && spans == nil {
-		return nil
-	}
-	return &telemetry.Config{Run: label, TraceWriter: trace, Spans: spans, SpanParent: parent}
-}
-
-func sweepCapacity(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer, session *cliflags.Session, parent telemetry.SpanID) *stats.Table {
-	t := stats.NewTable("capacity sweep: harmonic IPC vs L3 bytes per core",
-		"private", "shared", "adaptive")
-	for _, kb := range []int{512, 1024, 2048, 4096} {
-		label := fmt.Sprintf("%d KB/core", kb)
-		sp := session.Spans.StartSpan("sweep.point "+label, parent)
-		row := make([]float64, 0, 3)
-		for _, s := range []sim.Scheme{sim.SchemePrivate, sim.SchemeShared, sim.SchemeAdaptive} {
-			cfg := sim.Config{
-				Scheme: s, Seed: seed,
-				WarmupInstructions: warmup, MeasureCycles: cycles,
-				L3BytesPerCore: kb << 10,
-			}
-			if s == sim.SchemeAdaptive {
-				cfg.Telemetry = telemetryFor(trace, label, session.Spans, sp.ID())
-				cfg.CheckInvariants = checkInvariants
-			}
-			r := sim.Run(cfg, mix)
-			row = append(row, r.HarmonicIPC)
+// buildSpec resolves the sweep spec: from -spec when given, otherwise
+// from the named preset. The returned note is a human footer for the
+// text rendering.
+func buildSpec(path, kind, apps string, seed, warmup, cycles uint64) (sweep.Spec, string, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return sweep.Spec{}, "", err
 		}
-		sp.End()
-		t.AddRow(label, row...)
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var spec sweep.Spec
+		if err := dec.Decode(&spec); err != nil {
+			return sweep.Spec{}, "", fmt.Errorf("sweep: parsing %s: %w", path, err)
+		}
+		return spec, "", nil
 	}
-	return t
+	base := sweep.Base{
+		Apps:               splitApps(apps),
+		Seed:               seed,
+		WarmupInstructions: warmup,
+		MeasureCycles:      cycles,
+	}
+	switch kind {
+	case "capacity":
+		return sweep.Spec{
+			Name: "capacity sweep: scheme vs L3 bytes per core",
+			Base: base,
+			Axes: sweep.Axes{
+				Scheme:         []string{"private", "shared", "adaptive"},
+				L3BytesPerCore: []int{512 << 10, 1 << 20, 2 << 20, 4 << 20},
+			},
+		}, "", nil
+	case "period":
+		base.Scheme = "adaptive"
+		return sweep.Spec{
+			Name: "re-evaluation period sweep (adaptive)",
+			Base: base,
+			Axes: sweep.Axes{RepartitionPeriod: []int{250, 500, 1000, 2000, 4000, 8000}},
+		}, "(paper §2.1 uses 2000 misses: long enough to measure, short enough to adapt)", nil
+	default:
+		return sweep.Spec{}, "", fmt.Errorf("unknown sweep kind: %s", kind)
+	}
 }
 
-func sweepPeriod(mix []workload.AppParams, seed, warmup, cycles uint64, trace io.Writer, session *cliflags.Session, parent telemetry.SpanID) *stats.Table {
-	t := stats.NewTable("re-evaluation period sweep (adaptive): harmonic IPC",
-		"harmonic IPC", "repartitions", "evaluations")
-	for _, period := range []int{250, 500, 1000, 2000, 4000, 8000} {
-		label := fmt.Sprintf("%d misses", period)
-		sp := session.Spans.StartSpan("sweep.point "+label, parent)
-		r := sim.Run(sim.Config{
-			Scheme: sim.SchemeAdaptive, Seed: seed,
-			WarmupInstructions: warmup, MeasureCycles: cycles,
-			RepartitionPeriod: period,
-			Telemetry:         telemetryFor(trace, label, session.Spans, sp.ID()),
-			CheckInvariants:   checkInvariants,
-		}, mix)
-		sp.End()
-		t.AddRow(label, r.HarmonicIPC, float64(r.Repartitions), float64(r.Evaluations))
+func splitApps(csv string) []string {
+	var apps []string
+	for _, name := range strings.Split(csv, ",") {
+		apps = append(apps, strings.TrimSpace(name))
 	}
-	return t
+	return apps
+}
+
+// runLocal expands and executes the sweep in-process via the shared
+// engine, so warmup forking works identically to the server's schedule.
+func runLocal(spec sweep.Spec, maxPoints int, session *cliflags.Session) (*stats.Table, error) {
+	points, err := sweep.Expand(spec, maxPoints)
+	if err != nil {
+		return nil, err
+	}
+	var trace io.Writer
+	if session.Trace != nil {
+		trace = session.Trace
+	}
+	parent := session.StartSpan("sweep.local")
+	spans := make(map[string]telemetry.Span, len(points))
+	results, st, err := sweep.RunLocal(context.Background(), points, sweep.LocalOptions{
+		CheckInvariants: checkInvariants,
+		Attach: func(p sweep.Point) *telemetry.Config {
+			sp := session.Spans.StartSpan("sweep.point "+p.Label, parent.ID())
+			spans[p.Label] = sp
+			return &telemetry.Config{
+				Run:         p.Label,
+				TraceWriter: trace,
+				Spans:       session.Spans,
+				SpanParent:  sp.ID(),
+			}
+		},
+		OnPoint: func(p sweep.Point, _ sim.Result) {
+			if sp, ok := spans[p.Label]; ok {
+				sp.End()
+			}
+		},
+	})
+	parent.End()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "# sweep: %d points, %d warmups run (%d forked, %d cold)\n",
+		len(points), st.WarmupsRun, st.Forked, st.Cold)
+	return sweep.Aggregate(spec.Name, points, results), nil
+}
+
+// runRemote submits the spec to a nucaserve instance, polls the sweep
+// until it settles, and downloads the aggregated table. Points the
+// server has already computed (for earlier jobs or sweeps) are answered
+// from its result cache without re-simulating.
+func runRemote(base string, spec sweep.Spec) (*stats.Table, error) {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := postSweep(base, body)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "# sweep %.12s: %d points (%d cached, %d warmup groups, %d forked)\n",
+		st.ID, st.Points, st.CachedPoints, st.WarmupGroups, st.ForkedPoints)
+
+	lastResolved := -1
+	for st.State == serve.SweepPending {
+		time.Sleep(250 * time.Millisecond)
+		st, err = getJSON[serve.SweepStatus](base + "/v1/sweeps/" + st.ID)
+		if err != nil {
+			return nil, err
+		}
+		if st.Resolved != lastResolved {
+			lastResolved = st.Resolved
+			fmt.Fprintf(os.Stderr, "# sweep %.12s: %d/%d points resolved\n", st.ID, st.Resolved, st.Points)
+		}
+	}
+	if st.State != serve.SweepDone {
+		return nil, fmt.Errorf("sweep %.12s %s: %s", st.ID, st.State, st.Error)
+	}
+
+	resp, err := http.Get(base + "/v1/sweeps/" + st.ID + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("downloading sweep table: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var t stats.Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("parsing sweep table: %w", err)
+	}
+	return &t, nil
+}
+
+func postSweep(base string, body []byte) (serve.SweepStatus, error) {
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.SweepStatus{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.SweepStatus{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return serve.SweepStatus{}, fmt.Errorf("submitting sweep: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var st serve.SweepStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return serve.SweepStatus{}, fmt.Errorf("parsing sweep status: %w", err)
+	}
+	return st, nil
+}
+
+func getJSON[T any](url string) (T, error) {
+	var v T
+	resp, err := http.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return v, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, err
+	}
+	return v, nil
 }
 
 func sweepWays(app string, seed uint64, session *cliflags.Session, parent telemetry.SpanID) *stats.Table {

@@ -45,7 +45,7 @@ type ServeFault struct {
 	Description string
 }
 
-// ServeMatrix returns the serve-layer fault catalog (DESIGN.md §12 is
+// ServeMatrix returns the serve-layer fault catalog (DESIGN.md §11 is
 // the prose version). Ordering is stable for reporting.
 func ServeMatrix() []ServeFault {
 	return []ServeFault{

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 
 	"nucasim/internal/sim"
 	"nucasim/internal/telemetry"
@@ -27,6 +28,17 @@ func EncodeResult(r sim.Result) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// DecodeResult parses result.json bytes back into a sim.Result — the
+// read side of EncodeResult, used when a sweep aggregates its points'
+// committed results from the cache.
+func DecodeResult(data []byte) (sim.Result, error) {
+	var r sim.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return sim.Result{}, fmt.Errorf("serve: unparseable result artifact: %w", err)
+	}
+	return r, nil
 }
 
 // encodeEpochCSV renders the run's epoch time series in the same CSV

@@ -460,7 +460,7 @@ func TestJobDeadline(t *testing.T) {
 // every rejected client the same second.
 func TestRetryAfterJitter(t *testing.T) {
 	s := &Server{opts: Options{Workers: 2}.withDefaults()}
-	s.queue = make([]*Job, 10)
+	s.queue = make([]workItem, 10)
 	distinct := make(map[int]bool)
 	for i := 0; i < 200; i++ {
 		ra := s.retryAfterLocked()

@@ -25,6 +25,14 @@ const maxRequestBody = 1 << 20
 //	                            the committed artifact when the job is done, a
 //	                            live render of completed spans otherwise
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	POST   /v1/sweeps           submit a parameter sweep (202 accepted,
+//	                            200 cached/duplicate, 400 malformed spec or
+//	                            grid over the point cap, 503 draining)
+//	GET    /v1/sweeps           list every known sweep
+//	GET    /v1/sweeps/{id}        sweep status + per-point job states
+//	GET    /v1/sweeps/{id}/events NDJSON stream of sweep status updates
+//	GET    /v1/sweeps/{id}/result aggregate table.json (?artifact=csv → table.csv)
+//	DELETE /v1/sweeps/{id}        cancel the sweep's pending points
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 once draining)
 //	GET    /metrics             text exposition of server + simulator metrics
@@ -36,6 +44,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})

@@ -133,9 +133,23 @@ type Job struct {
 	retries  int    // from-scratch reruns after transient failures (bad checkpoint)
 	cached   bool   // served straight from the result cache, no run
 	resumed  bool   // continued from a checkpoint after a server restart
+	forked   bool   // measurement window forked from a shared warmup checkpoint
 	progress telemetry.Progress
 	epochs   *telemetry.Ring // samples observed live via the OnEpoch hook
 	wait     chan struct{}   // closed+replaced on every update (broadcast)
+
+	// forkFrom, when non-nil, is an encoded warmup checkpoint
+	// (sim.Checkpoint.Encode) shared by every member of the job's sweep
+	// warmup group: the worker decodes a private copy and resumes the
+	// measurement window from it instead of re-running warmup. Cleared
+	// when a fork attempt falls back to a cold rerun.
+	forkFrom []byte
+
+	// subscribers observe the job reaching a resolved state — done,
+	// failed or canceled, NOT checkpointed/interrupted (those continue
+	// after a restart). Sweeps use this to track point completion.
+	// Invoked on a fresh goroutine, never under mu.
+	subscribers []func(JobState)
 
 	cancel          context.CancelFunc // non-nil while running
 	cancelRequested bool
@@ -171,6 +185,41 @@ func (j *Job) bumpLocked() {
 	j.wait = make(chan struct{})
 }
 
+// resolved reports a state that settles the job's outcome for good:
+// terminal states minus the two a restarted server continues.
+func (s JobState) resolved() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// subscribe registers f to run once the job resolves (done, failed or
+// canceled). A job that is already resolved fires immediately. f runs
+// on its own goroutine so subscribers may take any lock.
+func (j *Job) subscribe(f func(JobState)) {
+	j.mu.Lock()
+	if j.state.resolved() {
+		state := j.state
+		j.mu.Unlock()
+		go f(state)
+		return
+	}
+	j.subscribers = append(j.subscribers, f)
+	j.mu.Unlock()
+}
+
+// notifyLocked dispatches subscribers if the job just resolved. Callers
+// hold mu; each subscriber gets its own goroutine.
+func (j *Job) notifyLocked() {
+	if !j.state.resolved() || len(j.subscribers) == 0 {
+		return
+	}
+	subs := j.subscribers
+	j.subscribers = nil
+	state := j.state
+	for _, f := range subs {
+		go f(state)
+	}
+}
+
 // onEpoch is the telemetry.Config.OnEpoch hook: it runs on the worker's
 // simulation goroutine at every repartition evaluation. The sample's
 // slices are freshly allocated by the sharing engine and never written
@@ -201,6 +250,7 @@ func (j *Job) setState(s JobState, errMsg string) {
 		j.cancel = nil
 	}
 	j.bumpLocked()
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 
@@ -213,6 +263,7 @@ func (j *Job) setFailed(errMsg, stack string) {
 	j.stack = stack
 	j.cancel = nil
 	j.bumpLocked()
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 
@@ -239,7 +290,10 @@ type Status struct {
 	QueueDepthAtSubmit int                `json:"queue_depth_at_submit,omitempty"`
 	Cached             bool               `json:"cached,omitempty"`
 	Resumed            bool               `json:"resumed,omitempty"`
-	Error              string             `json:"error,omitempty"`
+	// Forked marks a sweep point whose measurement window resumed from
+	// its warmup group's shared checkpoint instead of re-running warmup.
+	Forked bool   `json:"forked,omitempty"`
+	Error  string `json:"error,omitempty"`
 	// Stack is the goroutine stack captured when a worker panic failed
 	// the job — the post-mortem travels with the job record.
 	Stack string `json:"stack,omitempty"`
@@ -264,6 +318,7 @@ func (j *Job) status(queuePos int) Status {
 		QueueDepthAtSubmit: j.queueDepthAtSubmit,
 		Cached:             j.cached,
 		Resumed:            j.resumed,
+		Forked:             j.forked,
 		Error:              j.err,
 		Stack:              j.stack,
 		Retries:            j.retries,

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -50,38 +51,45 @@ func encodeManifest(m manifest) ([]byte, error) {
 }
 
 // CorruptError reports an artifact whose on-disk bytes failed integrity
-// verification against the job's manifest. The store quarantines the
-// job directory before returning it, so by the time a caller sees this
-// error the damaged bytes can no longer be served.
+// verification against its entry's manifest. The store quarantines the
+// damaged directory before returning it, so by the time a caller sees
+// this error the damaged bytes can no longer be served.
 type CorruptError struct {
-	Hash     string // job (canonical-spec) hash
+	Hash     string // entry label: "job <hash>" or "sweep <id>"
 	Artifact string // file that failed, or "manifest.json" itself
 	Reason   string
 }
 
 func (e *CorruptError) Error() string {
-	return fmt.Sprintf("serve: job %s: artifact %s failed integrity check: %s", e.Hash, e.Artifact, e.Reason)
+	return fmt.Sprintf("serve: %s: artifact %s failed integrity check: %s", e.Hash, e.Artifact, e.Reason)
 }
 
-// verifyManifest checks every artifact the manifest covers against its
-// recorded hash and requires the required set to be present. It reads
-// each artifact exactly once and returns the first violation.
+// verifyManifest checks every artifact the job's manifest covers
+// against its recorded hash.
 func (st *Store) verifyManifest(hash string) *CorruptError {
-	raw, err := os.ReadFile(st.ManifestPath(hash))
+	return verifyManifestDir(st.jobDir(hash), "job "+hash, requiredArtifacts)
+}
+
+// verifyManifestDir checks dir's artifacts against its manifest: the
+// required set must be covered, and every covered artifact's bytes must
+// match the recorded hash. It reads each artifact exactly once and
+// returns the first violation; subject labels the entry in reports.
+func verifyManifestDir(dir, subject string, required []string) *CorruptError {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
-		return &CorruptError{Hash: hash, Artifact: manifestFile, Reason: "unreadable: " + err.Error()}
+		return &CorruptError{Hash: subject, Artifact: manifestFile, Reason: "unreadable: " + err.Error()}
 	}
 	var m manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return &CorruptError{Hash: hash, Artifact: manifestFile, Reason: "unparseable: " + err.Error()}
+		return &CorruptError{Hash: subject, Artifact: manifestFile, Reason: "unparseable: " + err.Error()}
 	}
 	if m.Version != manifestVersion {
-		return &CorruptError{Hash: hash, Artifact: manifestFile,
+		return &CorruptError{Hash: subject, Artifact: manifestFile,
 			Reason: fmt.Sprintf("version %d, this build reads %d", m.Version, manifestVersion)}
 	}
-	for _, name := range requiredArtifacts {
+	for _, name := range required {
 		if _, ok := m.Artifacts[name]; !ok {
-			return &CorruptError{Hash: hash, Artifact: name, Reason: "not covered by manifest"}
+			return &CorruptError{Hash: subject, Artifact: name, Reason: "not covered by manifest"}
 		}
 	}
 	// Verify in sorted order so failure reports are deterministic.
@@ -91,12 +99,12 @@ func (st *Store) verifyManifest(hash string) *CorruptError {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		data, err := os.ReadFile(st.artifactPath(hash, name))
+		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return &CorruptError{Hash: hash, Artifact: name, Reason: "unreadable: " + err.Error()}
+			return &CorruptError{Hash: subject, Artifact: name, Reason: "unreadable: " + err.Error()}
 		}
 		if got := artifactDigest(data); got != m.Artifacts[name] {
-			return &CorruptError{Hash: hash, Artifact: name,
+			return &CorruptError{Hash: subject, Artifact: name,
 				Reason: fmt.Sprintf("sha256 %s, manifest says %s", got, m.Artifacts[name])}
 		}
 	}

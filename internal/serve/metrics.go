@@ -31,11 +31,26 @@ func (m *serverMetrics) init() {
 	m.reg.Counter("serve.jobs_failed")
 	m.reg.Counter("serve.panics_recovered")
 	m.reg.Counter("serve.cache_quarantined")
+	// The sweep family sweep-smoke scrapes: asserting "warmup ran exactly
+	// once" needs the zero to exist before the first sweep does.
+	m.reg.Counter("serve.sweeps_submitted")
+	m.reg.Counter("serve.sweeps_completed")
+	m.reg.Counter("serve.sweeps_failed")
+	m.reg.Counter("serve.sweep_warmups_run")
+	m.reg.Counter("serve.sweep_warmup_failures")
+	m.reg.Counter("serve.sweep_points_forked")
+	m.reg.Counter("serve.sweep_fork_fallbacks")
 }
 
 func (m *serverMetrics) inc(name string) {
 	m.mu <- struct{}{}
 	m.reg.Counter(name).Inc()
+	<-m.mu
+}
+
+func (m *serverMetrics) add(name string, n uint64) {
+	m.mu <- struct{}{}
+	m.reg.Counter(name).Add(n)
 	<-m.mu
 }
 
@@ -92,6 +107,12 @@ func (s *Server) writeMetrics(w io.Writer) error {
 		perState[j.state]++
 		j.mu.Unlock()
 	}
+	perSweepState := make(map[SweepState]int)
+	for _, sw := range s.sweeps {
+		sw.mu.Lock()
+		perSweepState[sw.state]++
+		sw.mu.Unlock()
+	}
 	s.mu.Unlock()
 
 	// serve.jobs_state_<state>, not serve.jobs_<state>: the lifecycle
@@ -101,6 +122,9 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone,
 		StateFailed, StateCanceled, StateCheckpointed, StateInterrupted} {
 		m.Gauges["serve.jobs_state_"+string(st)] = float64(perState[st])
+	}
+	for _, st := range []SweepState{SweepPending, SweepDone, SweepFailed, SweepCanceled} {
+		m.Gauges["serve.sweeps_state_"+string(st)] = float64(perSweepState[st])
 	}
 	up := time.Since(s.started).Seconds()
 	m.Gauges["serve.uptime_seconds"] = up

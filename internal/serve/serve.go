@@ -48,6 +48,11 @@ type Options struct {
 	// explicitly (StateFailed, serve.jobs_deadline_exceeded) instead of
 	// occupying a worker forever.
 	JobTimeout time.Duration
+	// MaxSweepPoints caps how many points one POST /v1/sweeps may expand
+	// to; larger grids are rejected with 400 before any work is enqueued
+	// (default sweep.DefaultMaxPoints). Sweep points bypass QueueDepth —
+	// this cap is their admission control.
+	MaxSweepPoints int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,11 +78,15 @@ type Server struct {
 	mu        sync.Mutex
 	cond      *sync.Cond // queue became non-empty, or stopping
 	jobs      map[string]*Job
-	queue     []*Job // FIFO of StateQueued jobs
-	queueHigh int    // deepest the FIFO has ever been (high-water mark)
+	sweeps    map[string]*Sweep
+	queue     []workItem // FIFO of StateQueued jobs and pending warmup tasks
+	queueHigh int        // deepest the FIFO has ever been (high-water mark)
 	running   int
-	draining  bool // no new submissions, workers stop dequeuing
-	stopping  bool // workers exit
+	// warmups tracks warmup tasks currently executing on a worker, so
+	// the shutdown drain can interrupt them alongside running jobs.
+	warmups  map[*warmupTask]struct{}
+	draining bool // no new submissions, workers stop dequeuing
+	stopping bool // workers exit
 
 	metrics serverMetrics
 	started time.Time
@@ -106,6 +115,8 @@ func New(opts Options) (*Server, error) {
 		opts:    opts,
 		store:   store,
 		jobs:    make(map[string]*Job),
+		sweeps:  make(map[string]*Sweep),
+		warmups: make(map[*warmupTask]struct{}),
 		started: time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -128,6 +139,9 @@ func New(opts Options) (*Server, error) {
 		}()
 	})
 	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverSweeps(); err != nil {
 		return nil, err
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -356,8 +370,10 @@ func (s *Server) Cancel(id string) (Status, bool) {
 	j.mu.Lock()
 	switch {
 	case j.state == StateQueued:
+		// Fork-group members waiting on their warmup task are not in the
+		// FIFO; the loop simply finds nothing to remove for them.
 		for i, q := range s.queue {
-			if q == j {
+			if q == workItem(j) {
 				s.queue = append(s.queue[:i], s.queue[i+1:]...)
 				break
 			}
@@ -366,6 +382,7 @@ func (s *Server) Cancel(id string) (Status, bool) {
 		j.cancelRequested = true
 		j.endSpans()
 		j.bumpLocked()
+		j.notifyLocked()
 		s.metrics.inc("serve.jobs_canceled")
 		s.store.Remove(id)
 	case j.state == StateRunning:
@@ -379,6 +396,15 @@ func (s *Server) Cancel(id string) (Status, bool) {
 	return s.Status(j), true
 }
 
+// workItem is one unit of pool work: a job's simulation, or a sweep
+// group's shared warmup. Items execute on worker goroutines and count
+// against the pool's occupancy.
+type workItem interface {
+	execute(s *Server)
+}
+
+func (j *Job) execute(s *Server) { s.runJob(j) }
+
 // worker is one pool goroutine: dequeue, simulate, publish, repeat.
 func (s *Server) worker() {
 	defer s.wg.Done()
@@ -391,12 +417,12 @@ func (s *Server) worker() {
 			s.mu.Unlock()
 			return
 		}
-		j := s.queue[0]
+		item := s.queue[0]
 		s.queue = s.queue[1:]
 		s.running++
 		s.mu.Unlock()
 
-		s.runJob(j)
+		item.execute(s)
 
 		s.mu.Lock()
 		s.running--
@@ -414,28 +440,49 @@ type panicInfo struct {
 // panicking engine (or a corrupt checkpoint that explodes mid-restore)
 // fails one job with a captured stack instead of killing the process
 // and every other job with it.
-func (s *Server) runIsolated(ctx context.Context, j *Job, parent telemetry.SpanID, resume bool, res *sim.Result, err *error) (panicked *panicInfo) {
+func (s *Server) runIsolated(ctx context.Context, j *Job, parent telemetry.SpanID, resume bool, fork []byte, res *sim.Result, err *error) (panicked *panicInfo) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = &panicInfo{value: fmt.Sprint(r), stack: string(debug.Stack())}
 		}
 	}()
+	// attach re-wires the process-local observability a checkpoint cannot
+	// carry: the job's live epoch/progress streams and span recorder. The
+	// run label becomes the job's own (a fork's checkpoint carries its
+	// warmup group's label), matching what jobConfig gives a cold run.
+	attach := func(c *telemetry.Config) bool {
+		c.Run = j.ID
+		c.OnEpoch = j.onEpoch
+		c.OnProgress = j.onProgress
+		c.Spans = j.spans
+		c.SpanParent = parent
+		c.SampleRuntime = true
+		return true
+	}
 	telemetry.WithJob(ctx, j.ID, func(ctx context.Context) {
 		if s.testHookRun != nil {
 			s.testHookRun(j)
 		}
-		if resume {
+		switch {
+		case resume:
 			s.metrics.inc("serve.jobs_resumed")
-			*res, *err = sim.ResumeContextTelemetry(ctx, s.store.CheckpointPath(j.ID),
-				func(c *telemetry.Config) bool {
-					c.OnEpoch = j.onEpoch
-					c.OnProgress = j.onProgress
-					c.Spans = j.spans
-					c.SpanParent = parent
-					c.SampleRuntime = true
-					return true
-				})
-		} else {
+			*res, *err = sim.ResumeContextTelemetry(ctx, s.store.CheckpointPath(j.ID), attach)
+		case fork != nil:
+			// Sweep warmup fork: decode a private copy of the group's shared
+			// warmup checkpoint and run only this point's measurement window
+			// from it. Everything but the measurement length is pinned by the
+			// checkpoint's warmup hash; crash safety (periodic checkpointing
+			// into the store) attaches exactly as a cold run would get it.
+			var ck *sim.Checkpoint
+			if ck, *err = sim.DecodeCheckpoint(fork); *err != nil {
+				return
+			}
+			ck.Cfg.MeasureCycles = j.cfg.MeasureCycles
+			ck.Cfg.CheckpointPath = s.store.CheckpointPath(j.ID)
+			ck.Cfg.CheckpointEvery = s.opts.CheckpointEvery
+			s.metrics.inc("serve.sweep_points_forked")
+			*res, *err = sim.ResumeFromCheckpoint(ctx, ck, attach)
+		default:
 			*res, *err = sim.RunContext(ctx, s.jobConfig(j, parent), j.mix)
 		}
 	})
@@ -486,6 +533,8 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.cancel = cancel
 	resume := j.resumed
+	fork := j.forkFrom
+	j.forked = fork != nil
 	j.queueWait.End()
 	j.bumpLocked()
 	j.mu.Unlock()
@@ -496,7 +545,7 @@ func (s *Server) runJob(j *Job) {
 	runSpan := j.spans.StartSpan("serve.run", j.root.ID())
 	var res sim.Result
 	var err error
-	panicked := s.runIsolated(ctx, j, runSpan.ID(), resume, &res, &err)
+	panicked := s.runIsolated(ctx, j, runSpan.ID(), resume, fork, &res, &err)
 	runSpan.End()
 
 	s.metrics.observe("serve.job_run_us", uint64(time.Since(runStart).Microseconds()))
@@ -567,6 +616,19 @@ func (s *Server) runJob(j *Job) {
 			j.setState(StateInterrupted, "")
 		}
 	default:
+		// A fork whose shared warmup checkpoint no longer decodes or
+		// resumes is a transient infrastructure failure, not a property of
+		// the point's spec: drop the fork input and rerun cold (once).
+		if fork != nil && j.retryBudgetLeft() {
+			log.Printf("serve: job %s: warmup fork unusable (%v), rerunning cold", j.ID, err)
+			j.mu.Lock()
+			j.forkFrom = nil
+			j.forked = false
+			j.mu.Unlock()
+			s.metrics.inc("serve.sweep_fork_fallbacks")
+			s.requeueFromScratch(j)
+			return
+		}
 		// A resume attempt whose checkpoint no longer reads back is a
 		// transient failure: the spec is intact, so delete the bad
 		// checkpoint and rerun from scratch (once).
@@ -653,7 +715,9 @@ drain:
 	}
 
 	// Deadline passed: interrupt what is left. RunContext notices within
-	// one measurement chunk and checkpoints where it can.
+	// one measurement chunk and checkpoints where it can. Shared warmups
+	// are interrupted too — their members' specs are persisted, so the
+	// next process reruns them (cold) instead of losing the sweep.
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		j.mu.Lock()
@@ -661,6 +725,9 @@ drain:
 			j.cancel()
 		}
 		j.mu.Unlock()
+	}
+	for t := range s.warmups {
+		t.interrupt()
 	}
 	s.mu.Unlock()
 

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nucasim/internal/sweep"
+)
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid sweep spec: "+err.Error())
+		return
+	}
+	sw, created, err := s.SubmitSweep(spec)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, reqErr.Error())
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	code := http.StatusOK // duplicate submission or cache hit
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, s.SweepStatus(sw))
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sweeps())
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SweepStatus(sw))
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.CancelSweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleSweepResult serves the committed aggregate artifacts:
+// ?artifact=table (default) → table.json, ?artifact=csv → table.csv.
+// 409 until the sweep is done; integrity violations quarantine the
+// entry and answer 410, and the sweep record is downgraded so a
+// resubmission reruns instead of deduping onto the poisoned state.
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+	sw.mu.Lock()
+	state := sw.state
+	sw.mu.Unlock()
+	if state != SweepDone {
+		writeError(w, http.StatusConflict, "sweep is "+string(state)+", result not available")
+		return
+	}
+	var data []byte
+	var err error
+	var contentType string
+	switch artifact := r.URL.Query().Get("artifact"); artifact {
+	case "", "table":
+		data, err = s.store.ReadSweepTable(sw.ID)
+		contentType = "application/json"
+	case "csv":
+		data, err = s.store.ReadSweepCSV(sw.ID)
+		contentType = "text/csv"
+	default:
+		writeError(w, http.StatusBadRequest, "unknown artifact "+strconv.Quote(artifact)+" (want table or csv)")
+		return
+	}
+	if err != nil {
+		var corrupt *CorruptError
+		if !errors.As(err, &corrupt) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		sw.mu.Lock()
+		if sw.state == SweepDone {
+			sw.state = SweepFailed
+			sw.err = corrupt.Error()
+			sw.bumpLocked()
+		}
+		sw.mu.Unlock()
+		writeError(w, http.StatusGone, corrupt.Error())
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(data)
+}
+
+// handleSweepEvents streams the sweep's lifecycle as NDJSON — one
+// "sweep" status line whenever anything about the sweep changes (point
+// states included) — until the sweep settles or the client disconnects.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	var lastStatus string
+	// Re-check periodically even without a bump: point-job state changes
+	// bump the job, not the sweep, and a dropped client must be noticed.
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		sw.mu.Lock()
+		wait := sw.wait
+		sw.mu.Unlock()
+
+		st := s.SweepStatus(sw)
+		if line, _ := json.Marshal(st); string(line) != lastStatus {
+			lastStatus = string(line)
+			if err := enc.Encode(sweepEvent{Type: "sweep", Sweep: &st}); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if st.State != SweepPending {
+			return
+		}
+		select {
+		case <-wait:
+		case <-tick.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// sweepEvent is one NDJSON line on the sweep /events stream.
+type sweepEvent struct {
+	Type  string       `json:"type"`
+	Sweep *SweepStatus `json:"sweep,omitempty"`
+}

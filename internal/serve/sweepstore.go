@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"nucasim/internal/atomicio"
+)
+
+// Sweep store layout, mirroring the per-job entries:
+//
+//	<dir>/sweeps/<id>/spec.json       canonical sweep spec (sweep.Canonical)
+//	<dir>/sweeps/<id>/table.csv       aggregated table, CSV rendering
+//	<dir>/sweeps/<id>/manifest.json   SHA-256 of every committed artifact
+//	<dir>/sweeps/<id>/table.json      aggregated table, JSON (commit marker)
+//
+// table.json is the commit marker: a sweep directory with a spec but no
+// table is unfinished work a restarted server re-expands and finishes.
+// Commit order is table.csv, then manifest.json, then table.json — the
+// same stale-never-wrong protocol as job results, with quarantine on
+// any integrity violation. Per-point artifacts live in the ordinary
+// jobs/ entries the sweep's points dedupe onto; the sweep entry holds
+// only the aggregate.
+
+// requiredSweepArtifacts are the files every committed sweep manifest
+// must cover.
+var requiredSweepArtifacts = []string{"spec.json", "table.csv", "table.json"}
+
+func (st *Store) sweepDir(id string) string { return filepath.Join(st.dir, "sweeps", id) }
+
+func (st *Store) sweepArtifactPath(id, name string) string {
+	return filepath.Join(st.sweepDir(id), name)
+}
+
+// SweepSpecPath, SweepTablePath, SweepCSVPath and SweepManifestPath
+// name a sweep's artifact files.
+func (st *Store) SweepSpecPath(id string) string  { return st.sweepArtifactPath(id, "spec.json") }
+func (st *Store) SweepTablePath(id string) string { return st.sweepArtifactPath(id, "table.json") }
+func (st *Store) SweepCSVPath(id string) string   { return st.sweepArtifactPath(id, "table.csv") }
+func (st *Store) SweepManifestPath(id string) string {
+	return st.sweepArtifactPath(id, manifestFile)
+}
+
+// PutSweepSpec persists the canonical sweep spec, creating the sweep
+// directory — called at submission so an accepted sweep survives a
+// restart.
+func (st *Store) PutSweepSpec(id string, spec []byte) error {
+	if err := os.MkdirAll(st.sweepDir(id), 0o755); err != nil {
+		return err
+	}
+	return atomicio.WriteFile(st.SweepSpecPath(id), func(w io.Writer) error {
+		_, err := w.Write(spec)
+		return err
+	})
+}
+
+// PutSweepResult commits the sweep's aggregate artifacts: table.csv,
+// then the manifest covering everything, then table.json as the commit
+// marker. A crash between steps leaves either an uncommitted entry (the
+// sweep re-runs) or a fully verifiable one.
+func (st *Store) PutSweepResult(id string, tableJSON, tableCSV []byte) error {
+	if err := st.commitStep("sweep_begin"); err != nil {
+		return err
+	}
+	spec, err := os.ReadFile(st.SweepSpecPath(id))
+	if err != nil {
+		return fmt.Errorf("serve: committing sweep %s without a persisted spec: %w", id, err)
+	}
+	if err := atomicio.WriteFile(st.SweepCSVPath(id), func(w io.Writer) error {
+		_, err := w.Write(tableCSV)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := st.commitStep("sweep_csv"); err != nil {
+		return err
+	}
+	m := manifest{Version: manifestVersion, Artifacts: map[string]string{
+		"spec.json":  artifactDigest(spec),
+		"table.csv":  artifactDigest(tableCSV),
+		"table.json": artifactDigest(tableJSON),
+	}}
+	mbytes, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(st.SweepManifestPath(id), func(w io.Writer) error {
+		_, err := w.Write(mbytes)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := st.commitStep("sweep_manifest"); err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(st.SweepTablePath(id), func(w io.Writer) error {
+		_, err := w.Write(tableJSON)
+		return err
+	}); err != nil {
+		return err
+	}
+	return st.commitStep("sweep_result")
+}
+
+// verifySweepManifest checks a committed sweep entry against its
+// manifest: required artifacts covered, every covered artifact's bytes
+// matching the recorded hash.
+func (st *Store) verifySweepManifest(id string) *CorruptError {
+	return verifyManifestDir(st.sweepDir(id), "sweep "+id, requiredSweepArtifacts)
+}
+
+// CheckSweep classifies id's on-disk sweep entry, quarantining a
+// committed entry that fails verification (same semantics as
+// CheckResult for jobs).
+func (st *Store) CheckSweep(id string) ResultState {
+	if _, err := os.Stat(st.SweepTablePath(id)); err != nil {
+		return ResultNone
+	}
+	if cerr := st.verifySweepManifest(id); cerr != nil {
+		st.quarantineSweep(id, cerr.Artifact+": "+cerr.Reason)
+		return ResultCorrupt
+	}
+	return ResultOK
+}
+
+// HasSweepResult reports a committed, integrity-verified sweep entry.
+// Corrupt entries are quarantined as a side effect and read as absent,
+// so the sweep re-runs instead of serving wrong bytes.
+func (st *Store) HasSweepResult(id string) bool { return st.CheckSweep(id) == ResultOK }
+
+// VerifySweep is the read-only integrity check for offline fsck tooling
+// (artifactcheck -sweepstore): report, don't remediate. Uncommitted
+// entries verify clean — they are pending work.
+func (st *Store) VerifySweep(id string) error {
+	if _, err := os.Stat(st.SweepTablePath(id)); err != nil {
+		return nil
+	}
+	if cerr := st.verifySweepManifest(id); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// ReadSweepTable returns the committed table.json bytes, verified
+// against the manifest; ReadSweepCSV the table.csv bytes. On corruption
+// the entry is quarantined and a *CorruptError returned.
+func (st *Store) ReadSweepTable(id string) ([]byte, error) {
+	return st.readSweepVerified(id, st.SweepTablePath(id))
+}
+
+func (st *Store) ReadSweepCSV(id string) ([]byte, error) {
+	return st.readSweepVerified(id, st.SweepCSVPath(id))
+}
+
+func (st *Store) readSweepVerified(id, path string) ([]byte, error) {
+	if _, err := os.Stat(st.SweepTablePath(id)); err != nil {
+		return nil, err
+	}
+	if cerr := st.verifySweepManifest(id); cerr != nil {
+		st.quarantineSweep(id, cerr.Artifact+": "+cerr.Reason)
+		return nil, cerr
+	}
+	return os.ReadFile(path)
+}
+
+// quarantineSweep moves id's sweep directory into quarantine/ as
+// sweep-<id>.<nanos>, with the same race discipline as job quarantine.
+func (st *Store) quarantineSweep(id, reason string) {
+	st.qmu.Lock()
+	defer st.qmu.Unlock()
+	if _, err := os.Stat(st.sweepDir(id)); err != nil {
+		return
+	}
+	if _, err := os.Stat(st.SweepTablePath(id)); err != nil {
+		return // uncommitted: pending work, not corruption
+	}
+	if err := os.MkdirAll(st.QuarantineDir(), 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(st.QuarantineDir(), "sweep-"+id+"."+strconv.FormatInt(time.Now().UnixNano(), 10))
+	if err := os.Rename(st.sweepDir(id), dst); err != nil {
+		return
+	}
+	_ = atomicio.WriteFile(filepath.Join(dst, "REASON"), func(w io.Writer) error {
+		_, err := io.WriteString(w, reason+"\n")
+		return err
+	})
+	if st.onQuarantine != nil {
+		st.onQuarantine("sweep-"+id, reason)
+	}
+}
+
+// RemoveSweep deletes everything stored for a sweep (canceled or failed
+// sweeps, so a restart does not resurrect them).
+func (st *Store) RemoveSweep(id string) error {
+	st.qmu.Lock()
+	defer st.qmu.Unlock()
+	return os.RemoveAll(st.sweepDir(id))
+}
+
+// SweepDirs lists every sweep ID present under sweeps/.
+func (st *Store) SweepDirs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "sweeps"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
+}
+
+// PendingSweeps lists sweeps with a spec but no committed table — ones
+// that were accepted but unfinished when the previous process stopped.
+// The map holds each sweep's canonical spec bytes. Corrupt committed
+// entries are quarantined here and reported pending when their spec
+// survives, so the sweep re-runs.
+func (st *Store) PendingSweeps() (map[string][]byte, error) {
+	ids, err := st.SweepDirs()
+	if err != nil {
+		return nil, err
+	}
+	pending := make(map[string][]byte)
+	for _, id := range ids {
+		spec, specErr := os.ReadFile(st.SweepSpecPath(id))
+		if st.CheckSweep(id) == ResultOK {
+			continue
+		}
+		if specErr != nil {
+			continue // junk directory (crash between MkdirAll and spec write)
+		}
+		pending[id] = spec
+	}
+	return pending, nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -53,6 +54,14 @@ type Checkpoint struct {
 	Cfg     Config
 	Mix     []workload.AppParams
 
+	// WarmupHash is sim.WarmupHash(Cfg, Mix) stamped at capture. Resuming
+	// checks it against the resume-time configuration, so a checkpoint can
+	// only ever continue a run whose warmup-relevant fields match the ones
+	// that produced the state — the invariant behind sweep warmup forking,
+	// where one warmup checkpoint seeds many measurement windows that
+	// differ only in MeasureCycles.
+	WarmupHash string
+
 	HasTelemetry           bool
 	TelemetryRun           string
 	TelemetryEpochCapacity int
@@ -86,10 +95,14 @@ func (m *Machine) captureCheckpoint(before snapshot, measured uint64, mix []work
 		// below carries current values (Restore re-baselines the flush).
 		m.Adaptive.FlushTelemetry()
 	}
+	// The hash cannot fail here: the machine was built from this very
+	// (cfg, mix), so CanonicalSpec already validated it.
+	warmHash, _ := WarmupHash(cfg, mix)
 	ck := &Checkpoint{
 		Version:      checkpointVersion,
 		Cfg:          cfg,
 		Mix:          append([]workload.AppParams(nil), mix...),
+		WarmupHash:   warmHash,
 		Now:          m.now,
 		Measured:     measured,
 		BeforeInstr:  append([]uint64(nil), before.instr...),
@@ -154,22 +167,61 @@ func WriteCheckpoint(path string, ck *Checkpoint) error {
 	})
 }
 
-// ReadCheckpoint loads and validates a checkpoint file.
-func ReadCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+// Encode renders the checkpoint as the same gob bytes WriteCheckpoint
+// persists, without touching disk — the in-memory transport behind
+// sweep warmup forking, where one warmup checkpoint is encoded once and
+// decoded into a private copy per measurement window.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses and validates checkpoint bytes produced by
+// Encode (or read back from a WriteCheckpoint file).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := new(Checkpoint)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(ck); err != nil {
+		return nil, fmt.Errorf("sim: corrupt checkpoint: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// Clone returns a deep copy of the checkpoint via a gob round trip, so
+// several forked runs can each restore (and mutate machine state from)
+// their own copy without sharing a single slice between goroutines.
+func (ck *Checkpoint) Clone() (*Checkpoint, error) {
+	data, err := ck.Encode()
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	ck := new(Checkpoint)
-	if err := gob.NewDecoder(f).Decode(ck); err != nil {
-		return nil, fmt.Errorf("sim: corrupt checkpoint %s: %w", path, err)
-	}
+	return DecodeCheckpoint(data)
+}
+
+func (ck *Checkpoint) validate() error {
 	if ck.Version != checkpointVersion {
-		return nil, fmt.Errorf("sim: checkpoint %s has version %d, this build reads %d", path, ck.Version, checkpointVersion)
+		return fmt.Errorf("sim: checkpoint has version %d, this build reads %d", ck.Version, checkpointVersion)
 	}
 	if len(ck.Mix) != ck.Cfg.withDefaults().Cores {
-		return nil, fmt.Errorf("sim: checkpoint %s names %d apps for %d cores", path, len(ck.Mix), ck.Cfg.withDefaults().Cores)
+		return fmt.Errorf("sim: checkpoint names %d apps for %d cores", len(ck.Mix), ck.Cfg.withDefaults().Cores)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads and validates a checkpoint file.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
 	}
 	return ck, nil
 }
@@ -332,8 +384,46 @@ func ResumeContextTelemetry(ctx context.Context, path string, attach func(c *tel
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := ck.Cfg
+	res, err := ResumeFromCheckpoint(ctx, ck, attach)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: resuming %s: %w", path, err)
+	}
+	return res, nil
+}
+
+// ResumeFromCheckpoint continues an in-memory checkpoint to completion —
+// the path-free core of ResumeContextTelemetry, and the fork primitive
+// behind sweep warmup sharing: capture one checkpoint at the
+// warmup/measure boundary (WarmupCheckpoint), Clone it per sweep point,
+// override each clone's Cfg.MeasureCycles (and, for crash safety, its
+// Cfg.CheckpointPath), and resume every clone independently. Only
+// measurement-window and non-semantic fields may differ from the
+// capturing run: the checkpoint's stamped WarmupHash is re-derived from
+// ck.Cfg and a mismatch is rejected, so state can never be continued
+// under a configuration whose warmup it does not represent. The caller
+// must not reuse ck afterwards (restored machines may alias its slices);
+// fork from fresh Clones instead.
+func ResumeFromCheckpoint(ctx context.Context, ck *Checkpoint, attach func(c *telemetry.Config) (enable bool)) (Result, error) {
+	if err := ck.validate(); err != nil {
+		return Result{}, err
+	}
+	if ck.WarmupHash != "" {
+		h, err := WarmupHash(ck.Cfg, ck.Mix)
+		if err != nil {
+			return Result{}, err
+		}
+		if h != ck.WarmupHash {
+			return Result{}, fmt.Errorf("sim: checkpoint warmup hash %.12s does not match configuration (%.12s): only measurement-window fields may change across a fork", ck.WarmupHash, h)
+		}
+	}
+	cfg := ck.Cfg.withDefaults()
 	cfg.StopAfter = 0
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if ck.Measured > cfg.MeasureCycles {
+		return Result{}, fmt.Errorf("sim: checkpoint holds %d measured cycles, configuration wants only %d", ck.Measured, cfg.MeasureCycles)
+	}
 	tcfg := telemetry.Config{}
 	if ck.HasTelemetry {
 		tcfg = telemetry.Config{
@@ -353,10 +443,47 @@ func ResumeContextTelemetry(ctx context.Context, path string, attach func(c *tel
 	m := NewMachine(cfg, ck.Mix)
 	guard := m.armInvariantChecks()
 	if err := m.restoreCheckpoint(ck); err != nil {
-		return Result{}, fmt.Errorf("sim: restoring %s: %w", path, err)
+		return Result{}, fmt.Errorf("sim: restoring checkpoint: %w", err)
 	}
 	before := snapshot{instr: ck.BeforeInstr, access: ck.BeforeAccess, miss: ck.BeforeMiss}
 	return m.measure(ctx, ck.Mix, before, ck.Measured, time.Now(), guard)
+}
+
+// WarmupCheckpoint runs only the warmup phase of cfg — the functional
+// fast-forward and the timed warmup window, exactly as RunContext would —
+// and captures the machine at the warmup/measure boundary (zero measured
+// cycles, the measurement baseline just snapped). Resuming the returned
+// checkpoint is bit-identical to running the same configuration cold,
+// which the fork-equivalence suite proves; the point is that one warmup
+// can seed arbitrarily many measurement windows (ResumeFromCheckpoint on
+// Clones with different MeasureCycles), so a sweep whose points share
+// warmup-relevant configuration pays for warmup exactly once. Adaptive
+// scheme only: the baseline organizations have no snapshot support.
+func WarmupCheckpoint(ctx context.Context, cfg Config, mix []workload.AppParams) (*Checkpoint, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheme != SchemeAdaptive {
+		return nil, fmt.Errorf("sim: warmup checkpointing supports only the adaptive scheme, not %s", cfg.Scheme)
+	}
+	if len(mix) != cfg.Cores {
+		return nil, fmt.Errorf("sim: mix has %d apps for %d cores", len(mix), cfg.Cores)
+	}
+	m := NewMachine(cfg, mix)
+	guard := m.armInvariantChecks()
+	if err := m.warmup(ctx); err != nil {
+		m.spanRoot.End()
+		return nil, err
+	}
+	if guard.err != nil {
+		m.spanRoot.End()
+		return nil, guard.err
+	}
+	before := m.snap()
+	ck := m.captureCheckpoint(before, 0, mix)
+	m.spanRoot.End()
+	return ck, nil
 }
 
 // measure runs the measurement window under the pprof label

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nucasim/internal/telemetry"
+)
+
+// normalizeResult strips the only fields that legitimately differ
+// between a forked and a cold run: wall-clock throughput and the
+// process-local runtime series. Everything else — limits, counters,
+// per-core stats, the full epoch time series — must be deep-equal.
+func normalizeResult(r Result) Result {
+	r.Throughput = telemetry.Throughput{}
+	r.RuntimeSamples = nil
+	return r
+}
+
+// TestWarmupForkBitIdentical is the fork-equivalence acceptance test:
+// one warmup checkpoint, encoded once and decoded into a private copy
+// per point, must seed measurement windows whose results are identical
+// to cold end-to-end runs of the same configurations. This is the
+// invariant that lets a sweep run warmup once per warmup-hash group.
+func TestWarmupForkBitIdentical(t *testing.T) {
+	mix := mixOf(t, "ammp", "gzip")
+	windows := []uint64{20_000, 40_000, 60_000}
+
+	ck, err := WarmupCheckpoint(context.Background(), ckConfig(), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Measured != 0 {
+		t.Fatalf("warmup checkpoint holds %d measured cycles, want 0", ck.Measured)
+	}
+	if ck.WarmupHash == "" {
+		t.Fatal("warmup checkpoint carries no warmup hash")
+	}
+	// Encode once, decode per point: the sweep scheduler's sharing shape.
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mc := range windows {
+		cold := ckConfig()
+		cold.MeasureCycles = mc
+		ref, err := RunContext(context.Background(), cold, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fork, err := DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fork.Cfg.MeasureCycles = mc
+		got, err := ResumeFromCheckpoint(context.Background(), fork, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(normalizeResult(got), normalizeResult(ref)) {
+			t.Errorf("measure_cycles=%d: forked result diverged from cold run\nforked %+v\ncold   %+v",
+				mc, normalizeResult(got), normalizeResult(ref))
+		}
+	}
+}
+
+// TestWarmupHashGrouping pins the grouping semantics: MeasureCycles is
+// the only canonical field excluded from the warmup hash, so points
+// differing only in their measurement window share a group, and any
+// warmup-relevant change — seed, warmup lengths, geometry, scheme
+// knobs, the mix itself — splits it.
+func TestWarmupHashGrouping(t *testing.T) {
+	mix := mixOf(t, "ammp", "gzip")
+	base, err := WarmupHash(ckConfig(), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := ckConfig()
+	same.MeasureCycles = 7 * ckConfig().MeasureCycles
+	if h, err := WarmupHash(same, mix); err != nil || h != base {
+		t.Errorf("MeasureCycles change split the group: %q vs %q (err %v)", h, base, err)
+	}
+
+	// Observability knobs are not canonical at all, so they cannot split
+	// a group either.
+	obs := ckConfig()
+	obs.Telemetry = &telemetry.Config{Run: "other-label", EpochCapacity: 17}
+	obs.CheckInvariants = false
+	if h, err := WarmupHash(obs, mix); err != nil || h != base {
+		t.Errorf("observability change split the group: %q vs %q (err %v)", h, base, err)
+	}
+
+	splits := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"seed", func(c *Config) { c.Seed++ }},
+		{"warmup instructions", func(c *Config) { c.WarmupInstructions += warmSegment }},
+		{"warmup cycles", func(c *Config) { c.WarmupCycles += measureChunk }},
+		{"repartition period", func(c *Config) { c.RepartitionPeriod *= 2 }},
+		{"capacity", func(c *Config) { c.L3BytesPerCore = 512 * 1024 }},
+		{"adaptation", func(c *Config) { c.DisableAdaptation = true }},
+	}
+	for _, tc := range splits {
+		cfg := ckConfig()
+		tc.mut(&cfg)
+		h, err := WarmupHash(cfg, mix)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if h == base {
+			t.Errorf("%s change did not split the warmup group", tc.name)
+		}
+	}
+
+	if h, err := WarmupHash(ckConfig(), mixOf(t, "gzip", "ammp")); err != nil || h == base {
+		t.Errorf("mix change did not split the warmup group (err %v)", err)
+	}
+
+	// A warmup hash must never collide with the spec hash of the same
+	// configuration: they address different things.
+	if sh, err := SpecHash(ckConfig(), mix); err != nil || sh == base {
+		t.Errorf("warmup hash equals spec hash (err %v)", err)
+	}
+}
+
+// TestResumeFromCheckpointRejectsWarmupMismatch pins the fork safety
+// check: a checkpoint cannot be continued under a configuration whose
+// warmup-relevant fields differ from the ones that produced the state.
+func TestResumeFromCheckpointRejectsWarmupMismatch(t *testing.T) {
+	mix := mixOf(t, "ammp", "gzip")
+	ck, err := WarmupCheckpoint(context.Background(), ckConfig(), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seedFork, err := ck.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedFork.Cfg.Seed++
+	if _, err := ResumeFromCheckpoint(context.Background(), seedFork, nil); err == nil ||
+		!strings.Contains(err.Error(), "warmup hash") {
+		t.Fatalf("seed change accepted across a fork: %v", err)
+	}
+
+	shortFork, err := ck.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortFork.Measured = shortFork.Cfg.MeasureCycles + 1
+	if _, err := ResumeFromCheckpoint(context.Background(), shortFork, nil); err == nil ||
+		!strings.Contains(err.Error(), "measured cycles") {
+		t.Fatalf("over-measured checkpoint accepted: %v", err)
+	}
+}
+
+// TestWarmupCheckpointRejectsNonAdaptive pins the scheme restriction:
+// the baseline organizations have no snapshot support, so warmup
+// forking is adaptive-only and says so.
+func TestWarmupCheckpointRejectsNonAdaptive(t *testing.T) {
+	cfg := ckConfig()
+	cfg.Scheme = SchemeShared
+	mix := mixOf(t, "ammp", "gzip")
+	if _, err := WarmupCheckpoint(context.Background(), cfg, mix); err == nil ||
+		!strings.Contains(err.Error(), "adaptive") {
+		t.Fatalf("non-adaptive warmup checkpoint accepted: %v", err)
+	}
+	if _, err := WarmupCheckpoint(context.Background(), ckConfig(), mix[:1]); err == nil {
+		t.Fatal("short mix accepted")
+	}
+}
+
+// TestCheckpointCloneIsolation pins the concurrency contract behind
+// Clone: mutating a clone (or the machine restored from it) must not
+// reach back into the original checkpoint's state.
+func TestCheckpointCloneIsolation(t *testing.T) {
+	mix := mixOf(t, "ammp", "gzip")
+	ck, err := WarmupCheckpoint(context.Background(), ckConfig(), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ck.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Cfg.MeasureCycles = 1
+	cl.BeforeInstr[0]++
+	cl.Mix[0].Name = "mutated"
+	if ck.Cfg.MeasureCycles == 1 || ck.Mix[0].Name == "mutated" {
+		t.Fatal("clone shares memory with the original checkpoint")
+	}
+	if cl.BeforeInstr[0] != ck.BeforeInstr[0]+1 {
+		t.Fatal("clone baseline not independent")
+	}
+}

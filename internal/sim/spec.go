@@ -131,3 +131,31 @@ func SpecHash(cfg Config, mix []workload.AppParams) (string, error) {
 	sum := sha256.Sum256(spec)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// WarmupHash returns the lowercase hex SHA-256 of the warmup-relevant
+// portion of the canonical spec: the canonical JSON with MeasureCycles
+// zeroed, hashed under a "warmup:" domain prefix so the value can never
+// collide with a SpecHash. MeasureCycles is the only canonical field
+// that plays no part in warmup — everything else (mix, seed, scheme,
+// geometry, the adaptive knobs, the CPU model) shapes the machine state
+// that exists at the warmup/measure boundary. Two configs with equal
+// WarmupHash therefore reach a bit-identical machine state after
+// warmup, which is what lets a sweep run warmup once per group and fork
+// every member's measurement window from one checkpoint.
+func WarmupHash(cfg Config, mix []workload.AppParams) (string, error) {
+	spec, err := CanonicalSpec(cfg, mix)
+	if err != nil {
+		return "", err
+	}
+	var s canonicalSpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return "", err
+	}
+	s.MeasureCycles = 0
+	warm, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(append([]byte("warmup:"), warm...))
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -236,6 +236,23 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// UnmarshalJSON parses the MarshalJSON schema back into a table, so
+// clients (cmd/sweep -server) can re-render a downloaded table.json
+// with the same text/CSV formatters as a locally built one.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	t.Title = in.Title
+	t.ColNames = in.Columns
+	t.rows = t.rows[:0]
+	for _, r := range in.Rows {
+		t.rows = append(t.rows, tableRow{label: r.Label, vals: r.Values})
+	}
+	return nil
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	var b strings.Builder

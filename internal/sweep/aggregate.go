@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"fmt"
+
+	"nucasim/internal/sim"
+	"nucasim/internal/stats"
+)
+
+// TableColumns is the fixed column set of an aggregated sweep table:
+// the paper's headline metric first (harmonic mean of per-core IPC,
+// §2.6), then the supporting aggregates every related study reports.
+var TableColumns = []string{
+	"harmonic_ipc", "mean_ipc", "llc_misses_per_kcycle", "repartitions", "evaluations",
+}
+
+// Aggregate folds per-point results into one table, one row per point
+// in expansion order, labelled by the point's swept coordinates. len
+// mismatches are programming errors and panic.
+func Aggregate(title string, points []Point, results []sim.Result) *stats.Table {
+	if len(points) != len(results) {
+		panic(fmt.Sprintf("sweep: %d points but %d results", len(points), len(results)))
+	}
+	if title == "" {
+		title = "sweep"
+	}
+	t := stats.NewTable(title, TableColumns...)
+	for i, p := range points {
+		r := results[i]
+		t.AddRow(p.Label,
+			r.HarmonicIPC,
+			r.MeanIPC,
+			stats.Mean(r.LLCMissesPerKCycle),
+			float64(r.Repartitions),
+			float64(r.Evaluations),
+		)
+	}
+	return t
+}

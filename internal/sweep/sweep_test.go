@@ -1,0 +1,296 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nucasim/internal/sim"
+	"nucasim/internal/telemetry"
+)
+
+// smallBase keeps test sweeps fast: a 2-core adaptive run sized so the
+// measurement window still crosses several repartition epochs.
+func smallBase() Base {
+	return Base{
+		Apps:               []string{"ammp", "gzip"},
+		Seed:               7,
+		WarmupInstructions: 60_000,
+		WarmupCycles:       10_000,
+		MeasureCycles:      30_000,
+		RepartitionPeriod:  400,
+	}
+}
+
+func TestExpandGrid(t *testing.T) {
+	spec := Spec{
+		Base: smallBase(),
+		Axes: Axes{
+			Scheme:        []string{"private", "shared", "adaptive"},
+			MeasureCycles: []uint64{20_000, 40_000},
+		},
+	}
+	points, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(points))
+	}
+	// Deterministic order with MeasureCycles innermost: members of one
+	// warmup group are adjacent.
+	wantLabels := []string{
+		"private mc20000", "private mc40000",
+		"shared mc20000", "shared mc40000",
+		"adaptive mc20000", "adaptive mc40000",
+	}
+	for i, p := range points {
+		if p.Label != wantLabels[i] {
+			t.Errorf("point %d label %q, want %q", i, p.Label, wantLabels[i])
+		}
+		if p.Index != i {
+			t.Errorf("point %d carries index %d", i, p.Index)
+		}
+		if p.SpecHash == "" || p.WarmupHash == "" {
+			t.Errorf("point %q missing hashes", p.Label)
+		}
+	}
+	// Expansion must agree with direct hashing of the same config.
+	wantHash, err := sim.SpecHash(points[4].Cfg, points[4].Mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[4].SpecHash != wantHash {
+		t.Error("point spec hash disagrees with sim.SpecHash")
+	}
+	// A single-point sweep (no axes) is legal.
+	solo, err := Expand(Spec{Base: smallBase()}, 0)
+	if err != nil || len(solo) != 1 {
+		t.Fatalf("single-point sweep: %d points, err %v", len(solo), err)
+	}
+	if solo[0].Label != "base" {
+		t.Errorf("single-point label %q, want base", solo[0].Label)
+	}
+}
+
+func TestExpandRejectsMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		max  int
+		want string
+	}{
+		{"empty mix axis", Spec{Base: smallBase(), Axes: Axes{Mix: [][]string{}}}, 0, "axis \"mix\" is empty"},
+		{"empty seed axis", Spec{Base: smallBase(), Axes: Axes{Seed: []uint64{}}}, 0, "axis \"seed\" is empty"},
+		{"no apps anywhere", Spec{}, 0, "at least 2 apps"},
+		{"unknown app", Spec{Base: Base{Apps: []string{"ammp", "nosuchapp"}}}, 0, "unknown application"},
+		{"duplicate axis value", Spec{Base: smallBase(), Axes: Axes{Seed: []uint64{1, 1}}}, 0, "duplicate point"},
+		{"duplicate mix", Spec{Base: smallBase(), Axes: Axes{Mix: [][]string{{"ammp", "gzip"}, {"ammp", "gzip"}}}}, 0, "duplicate point"},
+		{"over cap", Spec{Base: smallBase(), Axes: Axes{Seed: []uint64{1, 2, 3, 4}}}, 3, "grid has 4 points, cap is 3"},
+		{"bad geometry", Spec{Base: Base{Apps: []string{"ammp", "gzip"}, L3BytesPerCore: 100_000}}, 0, "not divisible"},
+		{"unknown scheme", Spec{Base: smallBase(), Axes: Axes{Scheme: []string{"l4-victim"}}}, 0, "unknown scheme"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Expand(tc.spec, tc.max)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Expand() err = %v, want error containing %q", err, tc.want)
+			}
+			var specErr *SpecError
+			if !asSpecError(err, &specErr) {
+				t.Fatalf("Expand() err = %T, want *SpecError", err)
+			}
+		})
+	}
+}
+
+func asSpecError(err error, target **SpecError) bool {
+	se, ok := err.(*SpecError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestPlanGroups(t *testing.T) {
+	spec := Spec{
+		Base: smallBase(),
+		Axes: Axes{
+			Scheme:        []string{"shared", "adaptive"},
+			Seed:          []uint64{1, 2},
+			MeasureCycles: []uint64{20_000, 40_000, 60_000},
+		},
+	}
+	points, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := Plan(points)
+	// 2 schemes × 2 seeds = 4 warmup groups; MeasureCycles never splits.
+	if len(groups) != 4 {
+		t.Fatalf("%d groups, want 4", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Points) != 3 {
+			t.Errorf("group %.12s has %d members, want 3", g.WarmupHash, len(g.Points))
+		}
+		scheme := points[g.Points[0]].Cfg.Scheme
+		if wantFork := scheme == sim.SchemeAdaptive; g.Fork != wantFork {
+			t.Errorf("group %.12s (scheme %s): Fork = %v, want %v", g.WarmupHash, scheme, g.Fork, wantFork)
+		}
+		for _, pi := range g.Points {
+			if points[pi].WarmupHash != g.WarmupHash {
+				t.Errorf("point %d in group %.12s has hash %.12s", pi, g.WarmupHash, points[pi].WarmupHash)
+			}
+		}
+	}
+	// Membership covers every point exactly once.
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		for _, pi := range g.Points {
+			if seen[pi] {
+				t.Errorf("point %d planned twice", pi)
+			}
+			seen[pi] = true
+		}
+	}
+	if len(seen) != len(points) {
+		t.Errorf("planned %d of %d points", len(seen), len(points))
+	}
+}
+
+// TestRunLocalForkEquivalence is the sweep-level fork-equivalence test:
+// a grid whose adaptive points share one warmup group must produce
+// results identical to running every point cold, with warmup executed
+// exactly once per group.
+func TestRunLocalForkEquivalence(t *testing.T) {
+	spec := Spec{
+		Base: smallBase(),
+		Axes: Axes{MeasureCycles: []uint64{20_000, 40_000, 60_000}},
+	}
+	points, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := RunLocal(context.Background(), points, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmupsRun != 1 || st.Forked != 3 || st.Cold != 0 {
+		t.Errorf("stats = %+v, want 1 warmup, 3 forked, 0 cold", st)
+	}
+	for i, p := range points {
+		cfg := p.Cfg
+		cfg.Telemetry = &telemetry.Config{Run: p.Label}
+		ref, err := sim.RunContext(context.Background(), cfg, p.Mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := func(r sim.Result) sim.Result {
+			r.Throughput = telemetry.Throughput{}
+			r.RuntimeSamples = nil
+			return r
+		}
+		if !reflect.DeepEqual(norm(got[i]), norm(ref)) {
+			t.Errorf("point %q: forked result diverged from cold run", p.Label)
+		}
+	}
+}
+
+// TestRunLocalColdSchemes pins that non-adaptive points run cold (no
+// snapshot support) and still produce results in expansion order.
+func TestRunLocalColdSchemes(t *testing.T) {
+	spec := Spec{
+		Base: smallBase(),
+		Axes: Axes{Scheme: []string{"private", "shared"}},
+	}
+	points, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := RunLocal(context.Background(), points, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Forked != 0 || st.Cold != 2 || st.WarmupsRun != 2 {
+		t.Errorf("stats = %+v, want 0 forked, 2 cold, 2 warmups", st)
+	}
+	for i, p := range points {
+		if string(res[i].Scheme) != p.Label {
+			t.Errorf("row %d: result scheme %s under label %q", i, res[i].Scheme, p.Label)
+		}
+	}
+}
+
+// TestRunLocalCancellation pins that a canceled context aborts the
+// sweep with ErrInterrupted instead of grinding through the grid.
+func TestRunLocalCancellation(t *testing.T) {
+	spec := Spec{
+		Base: smallBase(),
+		Axes: Axes{MeasureCycles: []uint64{20_000, 40_000}},
+	}
+	points, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := RunLocal(ctx, points, LocalOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("canceled sweep returned %v, want an interruption error", err)
+	}
+}
+
+func TestAggregateAndID(t *testing.T) {
+	spec := Spec{
+		Base: smallBase(),
+		Axes: Axes{MeasureCycles: []uint64{20_000, 40_000}},
+	}
+	points, err := Expand(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := RunLocal(context.Background(), points, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Aggregate("my sweep", points, res)
+	if tbl.NumRows() != 2 || tbl.Title != "my sweep" {
+		t.Fatalf("table has %d rows, title %q", tbl.NumRows(), tbl.Title)
+	}
+	label, vals := tbl.Row(0)
+	if label != points[0].Label || len(vals) != len(TableColumns) {
+		t.Errorf("row 0 = %q/%d cols, want %q/%d", label, len(vals), points[0].Label, len(TableColumns))
+	}
+	if vals[0] <= 0 {
+		t.Errorf("harmonic IPC %v, want > 0", vals[0])
+	}
+
+	id1 := ID("my sweep", points)
+	if id2 := ID("my sweep", points); id2 != id1 {
+		t.Error("sweep ID not deterministic")
+	}
+	if ID("other name", points) == id1 {
+		t.Error("sweep ID ignores the name")
+	}
+	if ID("my sweep", points[:1]) == id1 {
+		t.Error("sweep ID ignores the point set")
+	}
+
+	// Canonical round trip preserves the spec.
+	data, err := Canonical(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Errorf("canonical round trip changed the spec:\n%+v\n%+v", back, spec)
+	}
+	if _, err := ParseSpec([]byte("{")); err == nil {
+		t.Error("corrupt spec parsed without error")
+	}
+}

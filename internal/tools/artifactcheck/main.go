@@ -10,8 +10,10 @@
 // trace-reconstructed per-set cache state against the live cache at
 // every repartition epoch. With -servestore it fscks a nucaserve state
 // directory, verifying every committed cache entry against its
-// integrity manifest without touching anything. Used by `make smoke` /
-// `make ci`; exits non-zero with a diagnostic on any violation.
+// integrity manifest without touching anything; -sweepstore does the
+// same for the directory's committed sweep entries. Used by
+// `make smoke` / `make ci`; exits non-zero with a diagnostic on any
+// violation.
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 	selfverify := flag.Bool("selfverify", false, "run a short adaptive simulation and cross-check replayed vs live cache state every epoch")
 	resumesmoke := flag.Bool("resumesmoke", false, "interrupt a pinned adaptive run mid-measurement, resume it from its checkpoint, and require results bit-identical to the uninterrupted run")
 	servestore := flag.String("servestore", "", "nucaserve state directory to fsck: verify every committed cache entry against its manifest (read-only)")
+	sweepstore := flag.String("sweepstore", "", "nucaserve state directory whose sweep entries to fsck: verify every committed sweep's aggregate artifacts against their manifest (read-only)")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -76,6 +79,11 @@ func main() {
 			fatal("servestore %s: %v", *servestore, err)
 		}
 	}
+	if *sweepstore != "" {
+		if err := checkSweepStore(*sweepstore); err != nil {
+			fatal("sweepstore %s: %v", *sweepstore, err)
+		}
+	}
 }
 
 // checkServeStore is the offline fsck for a nucaserve state directory:
@@ -102,6 +110,32 @@ func checkServeStore(dir string) error {
 		return fmt.Errorf("%d of %d entries fail integrity verification", bad, len(hashes))
 	}
 	fmt.Printf("artifactcheck: servestore ok — %d entries verified against their manifests\n", len(hashes))
+	return nil
+}
+
+// checkSweepStore is the sweep-entry analogue of checkServeStore:
+// every committed sweep under <dir>/sweeps must verify its spec, CSV,
+// and table artifacts against the sweep manifest. Read-only.
+func checkSweepStore(dir string) error {
+	store, err := serve.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	ids, err := store.SweepDirs()
+	if err != nil {
+		return err
+	}
+	var bad int
+	for _, id := range ids {
+		if err := store.VerifySweep(id); err != nil {
+			fmt.Fprintf(os.Stderr, "artifactcheck: %v\n", err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d sweep entries fail integrity verification", bad, len(ids))
+	}
+	fmt.Printf("artifactcheck: sweepstore ok — %d sweep entries verified against their manifests\n", len(ids))
 	return nil
 }
 
